@@ -1,0 +1,252 @@
+package cqa
+
+// Benchmark harness (experiment E14 of DESIGN.md): wall-clock scaling of
+// the four solver tiers against instance size and query class, the
+// classification procedure against query length, and the hardness
+// reductions at scale. The paper has no empirical evaluation; these
+// benches substantiate its complexity-theoretic shape claims — the FO
+// and fixpoint tiers scale near-linearly in |db|, the SAT tier pays for
+// generality, and classification is polynomial in |q|.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/circuits"
+	"cqa/internal/classify"
+	"cqa/internal/conp"
+	"cqa/internal/fixpoint"
+	"cqa/internal/fo"
+	"cqa/internal/graphs"
+	"cqa/internal/nl"
+	"cqa/internal/reductions"
+	"cqa/internal/repairs"
+	"cqa/internal/words"
+	"cqa/internal/workload"
+)
+
+var benchSizes = []int{100, 1000, 10000}
+
+func benchInstance(size int) *Instance {
+	return workload.Random(workload.Config{
+		Relations:    []string{"R", "X", "Y", "A"},
+		Constants:    size / 2,
+		Facts:        size,
+		ConflictRate: 0.3,
+		Seed:         42,
+	})
+}
+
+// BenchmarkClassify measures the polynomial classification procedure on
+// growing query lengths (Theorem 2's "decidable in polynomial time").
+func BenchmarkClassify(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16, 32} {
+		w := make(words.Word, n)
+		for i := range w {
+			w[i] = []string{"R", "X", "Y"}[rng.Intn(3)]
+		}
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				classify.Classify(w)
+			}
+		})
+	}
+}
+
+// BenchmarkTierFO: the Lemma 13 rewriting DP on FO-class query RXRX.
+func BenchmarkTierFO(b *testing.B) {
+	q := words.MustParse("RXRX")
+	for _, size := range benchSizes {
+		db := benchInstance(size)
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fo.IsCertainFO(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkTierNL: the Section 6.3 loop procedure on NL-class query RRX.
+func BenchmarkTierNL(b *testing.B) {
+	q := words.MustParse("RRX")
+	for _, size := range benchSizes {
+		db := benchInstance(size)
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := nl.IsCertain(db, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTierFixpoint: the Figure 5 algorithm on PTIME-class query
+// RXRYRY.
+func BenchmarkTierFixpoint(b *testing.B) {
+	q := words.MustParse("RXRYRY")
+	for _, size := range benchSizes {
+		db := benchInstance(size)
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixpoint.Solve(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkTierSAT: the CDCL tier on coNP-class query ARRX.
+func BenchmarkTierSAT(b *testing.B) {
+	q := words.MustParse("ARRX")
+	for _, size := range benchSizes {
+		db := benchInstance(size)
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conp.IsCertain(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkTierCrossover runs the general SAT tier on the same NL-class
+// workload as the dedicated NL tier, exposing the cost of generality
+// (the paper's point that lower tiers matter).
+func BenchmarkTierCrossover(b *testing.B) {
+	q := words.MustParse("RRX")
+	for _, size := range []int{100, 1000} {
+		db := benchInstance(size)
+		b.Run(fmt.Sprintf("sat-on-nl-query/facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conp.IsCertain(db, q)
+			}
+		})
+		b.Run(fmt.Sprintf("fixpoint-on-nl-query/facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixpoint.Solve(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkDispatch measures the full facade (classification included).
+func BenchmarkDispatch(b *testing.B) {
+	db := benchInstance(1000)
+	for _, qs := range []string{"RXRX", "RRX", "RXRYRY", "ARRX"} {
+		q := MustParseQuery(qs)
+		b.Run(qs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Certain(q, db)
+			}
+		})
+	}
+}
+
+// BenchmarkReductionReach: Lemma 18 instances from random DAGs, solved
+// by the fixpoint tier.
+func BenchmarkReductionReach(b *testing.B) {
+	q := words.MustParse("RRX")
+	for _, n := range []int{10, 50, 200} {
+		g := graphs.RandomDAG(rand.New(rand.NewSource(7)), n, 0.1)
+		db, err := reductions.FromReachability(q, g, "v0", fmt.Sprintf("v%d", n-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("vertices=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixpoint.Solve(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkReductionSAT: Lemma 19 instances from random 3-CNF, solved by
+// the SAT tier.
+func BenchmarkReductionSAT(b *testing.B) {
+	q := words.MustParse("ARRX")
+	rng := rand.New(rand.NewSource(8))
+	for _, nv := range []int{10, 20, 40} {
+		f := reductions.CNF{NumVars: nv}
+		for i := 0; i < 4*nv; i++ {
+			clause := make([]int, 3)
+			for j := range clause {
+				v := 1 + rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				clause[j] = v
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+		db, err := reductions.FromSAT(q, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("vars=%d", nv), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conp.IsCertain(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkReductionMCVP: Lemma 20 instances from random circuits,
+// solved by the fixpoint tier.
+func BenchmarkReductionMCVP(b *testing.B) {
+	q := words.MustParse("RXRYRY")
+	rng := rand.New(rand.NewSource(9))
+	for _, gates := range []int{20, 100, 400} {
+		c, sigma := circuits.Random(rng, 10, gates)
+		db, err := reductions.FromMCVP(q, c, sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixpoint.Solve(db, q)
+			}
+		})
+	}
+}
+
+// BenchmarkFixpointRRX: the Figure 2 gadget family at scale.
+func BenchmarkFixpointRRX(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		db := workload.Figure2Family(n)
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixpoint.Solve(db, words.MustParse("RRX"))
+			}
+		})
+	}
+}
+
+// BenchmarkRepairEnumeration: the exponential ground truth, for context.
+func BenchmarkRepairEnumeration(b *testing.B) {
+	db := workload.Random(workload.Config{
+		Relations: []string{"R", "X"}, Constants: 6, Facts: 14,
+		ConflictRate: 0.5, Seed: 11,
+	})
+	q := words.MustParse("RRX")
+	b.Run(fmt.Sprintf("repairs=%s", repairs.Count(db)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repairs.IsCertain(db, q)
+		}
+	})
+}
+
+// BenchmarkCounterexample: minimal-repair construction (Lemma 10).
+func BenchmarkCounterexample(b *testing.B) {
+	db := workload.Figure3Family(200)
+	q := words.MustParse("ARRX")
+	res := conp.IsCertain(db, q)
+	if res.Certain {
+		b.Fatal("expected a no-instance")
+	}
+	b.Run("sat-with-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conp.IsCertain(db, q)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Command cqa is the command-line front end of the library: classify
+// path queries, decide CERTAINTY(q) on instances loaded from CSV or fact
+// lists, print consistent first-order rewritings, rewinding languages,
+// NFA(q) diagrams, and Figure 5 fixpoint traces.
+//
+// Usage:
+//
+//	cqa classify <query>...
+//	cqa solve -q <query> (-db <file.csv> | -facts "R(a,b) ...") [-method M] [-cex]
+//	cqa rewrite -q <query>
+//	cqa language -q <query> [-max N]
+//	cqa nfa -q <query>
+//	cqa trace -q <query> (-db <file.csv> | -facts "...")
+//	cqa count (-db <file.csv> | -facts "...")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cqa"
+	"cqa/internal/automata"
+	"cqa/internal/fixpoint"
+	"cqa/internal/instance"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "rewrite":
+		err = cmdRewrite(os.Args[2:])
+	case "language":
+		err = cmdLanguage(os.Args[2:])
+	case "nfa":
+		err = cmdNFA(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "count":
+		err = cmdCount(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqa:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cqa classify <query>...          complexity class of CERTAINTY(q) with witnesses
+  cqa solve -q Q [-db F|-facts S]  decide CERTAINTY(q) on an instance
+  cqa rewrite -q Q                 consistent FO rewriting (FO class only)
+  cqa language -q Q [-max N]       rewinding closure L↬(q) up to length N
+  cqa nfa -q Q                     NFA(q) in Graphviz DOT
+  cqa trace -q Q [-db F|-facts S]  Figure 5 fixpoint iteration trace
+  cqa count [-db F|-facts S]       number of repairs`)
+}
+
+func loadInstance(dbPath, facts string) (*instance.Instance, error) {
+	switch {
+	case dbPath != "" && facts != "":
+		return nil, fmt.Errorf("use either -db or -facts, not both")
+	case dbPath != "":
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return instance.ReadCSV(f)
+	case facts != "":
+		return instance.ParseFacts(facts)
+	default:
+		return nil, fmt.Errorf("an instance is required: -db file.csv or -facts \"R(a,b) ...\"")
+	}
+}
+
+func cmdClassify(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("at least one query is required")
+	}
+	for _, qs := range args {
+		q, err := cqa.ParseQuery(qs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cqa.Explain(q))
+	}
+	return nil
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	qs := fs.String("q", "", "path query word, e.g. RRX")
+	dbPath := fs.String("db", "", "instance CSV file (rel,key,val rows)")
+	facts := fs.String("facts", "", "inline fact list, e.g. \"R(a,b) R(a,c)\"")
+	method := fs.String("method", "", "force a tier: fo-rewriting, nl-loop, ptime-fixpoint, conp-sat, exhaustive")
+	cex := fs.Bool("cex", false, "print a counterexample repair on no-instances")
+	fs.Parse(args)
+	q, err := cqa.ParseQuery(*qs)
+	if err != nil {
+		return err
+	}
+	db, err := loadInstance(*dbPath, *facts)
+	if err != nil {
+		return err
+	}
+	res, err := cqa.CertainOpt(q, db, cqa.Options{
+		Force:              cqa.Method(*method),
+		WantCounterexample: *cex,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query    : %v  (%v)\n", q, res.Class)
+	fmt.Printf("method   : %s\n", res.Method)
+	fmt.Printf("certain  : %v\n", res.Certain)
+	if res.Witness != "" {
+		fmt.Printf("witness  : every repair has an accepted path starting at %s\n", res.Witness)
+	}
+	if res.Note != "" {
+		fmt.Printf("note     : %s\n", res.Note)
+	}
+	if *cex && res.Counterexample != nil {
+		fmt.Printf("repair falsifying q: %s\n", res.Counterexample)
+	}
+	return nil
+}
+
+func cmdRewrite(args []string) error {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	qs := fs.String("q", "", "path query word")
+	fs.Parse(args)
+	q, err := cqa.ParseQuery(*qs)
+	if err != nil {
+		return err
+	}
+	s, err := cqa.Rewrite(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println(s)
+	return nil
+}
+
+func cmdLanguage(args []string) error {
+	fs := flag.NewFlagSet("language", flag.ExitOnError)
+	qs := fs.String("q", "", "path query word")
+	max := fs.Int("max", 12, "maximum word length")
+	fs.Parse(args)
+	q, err := cqa.ParseQuery(*qs)
+	if err != nil {
+		return err
+	}
+	for _, w := range cqa.RewindLanguage(q, *max) {
+		fmt.Println(w)
+	}
+	return nil
+}
+
+func cmdNFA(args []string) error {
+	fs := flag.NewFlagSet("nfa", flag.ExitOnError)
+	qs := fs.String("q", "", "path query word")
+	fs.Parse(args)
+	q, err := cqa.ParseQuery(*qs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(automata.New(q.Word()).DOT())
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	qs := fs.String("q", "", "path query word")
+	dbPath := fs.String("db", "", "instance CSV file")
+	facts := fs.String("facts", "", "inline fact list")
+	fs.Parse(args)
+	q, err := cqa.ParseQuery(*qs)
+	if err != nil {
+		return err
+	}
+	db, err := loadInstance(*dbPath, *facts)
+	if err != nil {
+		return err
+	}
+	res, traces := fixpoint.SolveNaive(db, q.Word())
+	fmt.Print(fixpoint.FormatTrace(q.Word(), traces))
+	fmt.Printf("certain: %v, starts: %v\n", res.Certain, res.Starts)
+	return nil
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	dbPath := fs.String("db", "", "instance CSV file")
+	facts := fs.String("facts", "", "inline fact list")
+	fs.Parse(args)
+	db, err := loadInstance(*dbPath, *facts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cqa.CountRepairs(db))
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package cqa is a library for consistent query answering (CQA) under
+// primary-key constraints on path queries, implementing the PODS 2021
+// paper "Consistent Query Answering for Primary Keys on Path Queries" by
+// Koutris, Ouyang and Wijsen (arXiv:2309.15270).
+//
+// Given a Boolean path query q — a word R1 R2 ... Rk of binary relation
+// names, keyed on the first position — and a database instance that may
+// violate its primary keys, CERTAINTY(q) asks whether EVERY repair
+// (maximal consistent subset) of the instance satisfies q. The paper
+// proves a tetrachotomy: depending on syntactic conditions C1 ⊆ C2 ⊆ C3
+// on q, the problem is in FO, NL-complete, PTIME-complete, or
+// coNP-complete, decidable in polynomial time in |q|.
+//
+// This package is the public facade: Classify reports the complexity
+// class with witnesses, and Certain decides CERTAINTY(q, db) by
+// dispatching to the cheapest applicable solver tier:
+//
+//   - FO: the consistent first-order rewriting of Lemma 13;
+//   - NL: the loop-decomposition procedure of Section 6.3 (with its
+//     generated linear Datalog program available via the internal nl
+//     package);
+//   - PTIME: the fixpoint algorithm of Figure 5;
+//   - coNP: CDCL SAT on a polynomial encoding of the complement.
+//
+// Every tier is differentially tested against exhaustive repair
+// enumeration; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-artifact reproductions.
+package cqa
+
+import (
+	"errors"
+	"fmt"
+
+	"cqa/internal/classify"
+	"cqa/internal/conp"
+	"cqa/internal/fixpoint"
+	"cqa/internal/fo"
+	"cqa/internal/instance"
+	"cqa/internal/nl"
+	"cqa/internal/query"
+	"cqa/internal/repairs"
+)
+
+// Class is the complexity class of CERTAINTY(q) in Theorem 2's
+// tetrachotomy.
+type Class = classify.Class
+
+// The four classes of the tetrachotomy.
+const (
+	FO    = classify.FO
+	NL    = classify.NL
+	PTime = classify.PTime
+	CoNP  = classify.CoNP
+)
+
+// Query is a Boolean path query.
+type Query = query.Path
+
+// Instance is a database instance over binary relations with primary
+// keys on the first position.
+type Instance = instance.Instance
+
+// Fact is a fact R(key, val).
+type Fact = instance.Fact
+
+// ParseQuery parses a path query from word syntax, e.g. "RRX" or
+// "Follows Likes Follows".
+func ParseQuery(s string) (Query, error) { return query.Parse(s) }
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(s string) Query { return query.MustParse(s) }
+
+// NewInstance returns an empty database instance.
+func NewInstance() *Instance { return instance.New() }
+
+// ParseFacts parses a whitespace-separated fact list such as
+// "R(0,1) R(1,2) X(2,3)".
+func ParseFacts(s string) (*Instance, error) { return instance.ParseFacts(s) }
+
+// Classify returns the complexity class of CERTAINTY(q) (Theorem 3).
+func Classify(q Query) Class { return classify.Classify(q.Word()) }
+
+// Explain returns the full classification report, including witnessing
+// decompositions for violated conditions.
+func Explain(q Query) classify.Report { return classify.Explain(q.Word()) }
+
+// Method identifies the solver tier used for a decision.
+type Method string
+
+// Solver tiers.
+const (
+	MethodFO         Method = "fo-rewriting"
+	MethodNL         Method = "nl-loop"
+	MethodFixpoint   Method = "ptime-fixpoint"
+	MethodSAT        Method = "conp-sat"
+	MethodExhaustive Method = "exhaustive"
+)
+
+// Result is the outcome of a certainty decision.
+type Result struct {
+	Certain bool
+	Class   Class
+	Method  Method
+	// Witness is a constant c such that every repair has a q-path
+	// starting at c (set on yes-instances decided by the fixpoint
+	// tier).
+	Witness string
+	// Counterexample is a repair falsifying q (set on no-instances
+	// where the tier produces one).
+	Counterexample *Instance
+	// Note carries diagnostic detail, e.g. the NL decomposition or a
+	// fallback reason.
+	Note string
+}
+
+// Options tunes Certain.
+type Options struct {
+	// Force selects a specific tier instead of dispatching on the
+	// class. Forcing a tier that is unsound for the query's class
+	// (e.g. FO rewriting for a coNP query) returns an error.
+	Force Method
+	// WantCounterexample asks for a counterexample repair on
+	// no-instances even when the chosen tier does not produce one as a
+	// byproduct.
+	WantCounterexample bool
+}
+
+// ErrUnsoundMethod is returned when a forced method does not cover the
+// query's complexity class.
+var ErrUnsoundMethod = errors.New("cqa: forced method is unsound for this query class")
+
+// Certain decides CERTAINTY(q) on db with automatic tier dispatch.
+func Certain(q Query, db *Instance) Result {
+	r, err := CertainOpt(q, db, Options{})
+	if err != nil {
+		// Automatic dispatch never errors.
+		panic("cqa: internal: " + err.Error())
+	}
+	return r
+}
+
+// CertainOpt decides CERTAINTY(q) on db with explicit options.
+func CertainOpt(q Query, db *Instance, opts Options) (Result, error) {
+	w := q.Word()
+	cls := classify.Classify(w)
+	res := Result{Class: cls}
+
+	method := opts.Force
+	if method == "" {
+		switch cls {
+		case FO:
+			method = MethodFO
+		case NL:
+			method = MethodNL
+		case PTime:
+			method = MethodFixpoint
+		default:
+			method = MethodSAT
+		}
+	} else if !sound(method, cls) {
+		return res, fmt.Errorf("%w: %s for %v query %v", ErrUnsoundMethod, method, cls, q)
+	}
+
+	switch method {
+	case MethodFO:
+		res.Method = MethodFO
+		res.Certain = fo.IsCertainFO(db, w)
+	case MethodNL:
+		certain, d, err := nl.IsCertain(db, w)
+		if err != nil {
+			// Certified decomposition unavailable: fall back to the
+			// fixpoint tier (correct for all C3 ⊇ C2 queries).
+			fp := fixpoint.Solve(db, w)
+			res.Method = MethodFixpoint
+			res.Certain = fp.Certain
+			res.Note = "nl fallback: " + err.Error()
+			if fp.Certain && len(fp.Starts) > 0 {
+				res.Witness = fp.Starts[0]
+			}
+			break
+		}
+		res.Method = MethodNL
+		res.Certain = certain
+		res.Note = d.String()
+	case MethodFixpoint:
+		fp := fixpoint.Solve(db, w)
+		res.Method = MethodFixpoint
+		res.Certain = fp.Certain
+		if fp.Certain && len(fp.Starts) > 0 {
+			res.Witness = fp.Starts[0]
+		} else if !fp.Certain {
+			res.Counterexample = fixpoint.CounterexampleRepair(db, w, fp)
+		}
+	case MethodSAT:
+		out := conp.IsCertain(db, w)
+		res.Method = MethodSAT
+		res.Certain = out.Certain
+		res.Counterexample = out.Counterexample
+	case MethodExhaustive:
+		res.Method = MethodExhaustive
+		res.Certain = repairs.IsCertain(db, w)
+		if !res.Certain {
+			res.Counterexample = repairs.Counterexample(db, w)
+		}
+	default:
+		return res, fmt.Errorf("cqa: unknown method %q", method)
+	}
+
+	if opts.WantCounterexample && !res.Certain && res.Counterexample == nil {
+		res.Counterexample = conp.IsCertain(db, w).Counterexample
+	}
+	return res, nil
+}
+
+// sound reports whether a tier decides queries of the given class.
+func sound(m Method, cls Class) bool {
+	switch m {
+	case MethodFO:
+		return cls == FO
+	case MethodNL:
+		return cls == FO || cls == NL
+	case MethodFixpoint:
+		return cls != CoNP
+	case MethodSAT, MethodExhaustive:
+		return true
+	}
+	return false
+}
+
+// Rewrite returns the consistent first-order rewriting of Lemma 13 as a
+// formula string; it errors unless CERTAINTY(q) is in FO.
+func Rewrite(q Query) (string, error) {
+	if Classify(q) != FO {
+		return "", fmt.Errorf("cqa: %v is %v; no first-order rewriting exists", q, Classify(q))
+	}
+	return fo.RewriteCertain(q.Word()).String(), nil
+}
+
+// CountRepairs returns the number of repairs of db as a decimal string
+// (the count is a product of block sizes and can be astronomically
+// large).
+func CountRepairs(db *Instance) string { return repairs.Count(db).String() }
+
+// RewindLanguage enumerates L↬(q) — the rewinding closure of q,
+// accepted by NFA(q) (Lemma 4) — up to the given word length.
+func RewindLanguage(q Query, maxLen int) []string {
+	var out []string
+	for _, w := range q.Word().RewindClosure(maxLen) {
+		out = append(out, w.String())
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package cqa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/instance"
+	"cqa/internal/repairs"
+)
+
+func TestClassifyExamples(t *testing.T) {
+	cases := map[string]Class{
+		"RXRX": FO, "RXRY": NL, "RXRYRY": PTime, "RXRXRYRY": CoNP,
+		"RR": FO, "RRX": NL, "ARRX": CoNP,
+	}
+	for qs, want := range cases {
+		if got := Classify(MustParseQuery(qs)); got != want {
+			t.Errorf("Classify(%s) = %v, want %v", qs, got, want)
+		}
+	}
+}
+
+func TestCertainDispatch(t *testing.T) {
+	fig2, _ := ParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	res := Certain(MustParseQuery("RRX"), fig2)
+	if !res.Certain || res.Method != MethodNL {
+		t.Errorf("Figure 2: %+v", res)
+	}
+
+	fig3, _ := ParseFacts("A(0,a) R(a,b) R(a,c) R(b,c) R(c,b) X(c,t)")
+	res = Certain(MustParseQuery("ARRX"), fig3)
+	if res.Certain || res.Method != MethodSAT || res.Counterexample == nil {
+		t.Errorf("Figure 3: %+v", res)
+	}
+
+	chain, _ := ParseFacts("R(a,b) R(b,c)")
+	res = Certain(MustParseQuery("RR"), chain)
+	if !res.Certain || res.Method != MethodFO {
+		t.Errorf("RR chain: %+v", res)
+	}
+
+	res = Certain(MustParseQuery("RXRYRY"), NewInstance())
+	if res.Certain || res.Method != MethodFixpoint {
+		t.Errorf("empty instance: %+v", res)
+	}
+}
+
+func TestAllMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	queries := []Query{
+		MustParseQuery("RR"), MustParseQuery("RRX"), MustParseQuery("RXRYRY"),
+		MustParseQuery("ARRX"), MustParseQuery("RXRX"),
+	}
+	for it := 0; it < 150; it++ {
+		db := NewInstance()
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "X", "Y", "A"}[rng.Intn(4)]
+			db.AddFact(rel, string(rune('a'+rng.Intn(4))), string(rune('a'+rng.Intn(4))))
+		}
+		for _, q := range queries {
+			want := repairs.IsCertain(db, q.Word())
+			auto := Certain(q, db)
+			if auto.Certain != want {
+				t.Fatalf("it=%d q=%v db=%s: auto(%s)=%v want=%v", it, q, db, auto.Method, auto.Certain, want)
+			}
+			// Every sound forced method must agree.
+			for _, m := range []Method{MethodFO, MethodNL, MethodFixpoint, MethodSAT, MethodExhaustive} {
+				res, err := CertainOpt(q, db, Options{Force: m})
+				if err != nil {
+					continue // unsound for this class
+				}
+				if res.Certain != want {
+					t.Fatalf("it=%d q=%v db=%s method=%s: got %v want %v", it, q, db, m, res.Certain, want)
+				}
+			}
+		}
+	}
+}
+
+func TestForcedMethodSoundness(t *testing.T) {
+	db, _ := ParseFacts("R(a,b)")
+	if _, err := CertainOpt(MustParseQuery("ARRX"), db, Options{Force: MethodFO}); err == nil {
+		t.Error("FO rewriting must be refused for a coNP query")
+	}
+	if _, err := CertainOpt(MustParseQuery("RXRYRY"), db, Options{Force: MethodNL}); err == nil {
+		t.Error("NL tier must be refused for a PTIME-complete query")
+	}
+	if _, err := CertainOpt(MustParseQuery("ARRX"), db, Options{Force: MethodFixpoint}); err == nil {
+		t.Error("fixpoint must be refused for a coNP query")
+	}
+	if _, err := CertainOpt(MustParseQuery("RR"), db, Options{Force: Method("bogus")}); err == nil {
+		t.Error("unknown method must error")
+	}
+}
+
+func TestWantCounterexample(t *testing.T) {
+	db, _ := ParseFacts("R(a,b) R(a,c) X(b,z)")
+	q := MustParseQuery("RX")
+	res, err := CertainOpt(q, db, Options{WantCounterexample: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certain {
+		t.Fatal("not certain")
+	}
+	if res.Counterexample == nil || !res.Counterexample.IsRepairOf(db) {
+		t.Errorf("bad counterexample: %v", res.Counterexample)
+	}
+	if res.Counterexample.Satisfies(q.Word()) {
+		t.Error("counterexample satisfies q")
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	s, err := Rewrite(MustParseQuery("RR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"∃", "∀", "R("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rewriting %q missing %q", s, want)
+		}
+	}
+	if _, err := Rewrite(MustParseQuery("RRX")); err == nil {
+		t.Error("RRX has no FO rewriting")
+	}
+}
+
+func TestRewindLanguage(t *testing.T) {
+	got := RewindLanguage(MustParseQuery("RRX"), 5)
+	if len(got) != 3 || got[0] != "RRX" {
+		t.Errorf("RewindLanguage = %v", got)
+	}
+}
+
+func TestCountRepairs(t *testing.T) {
+	db, _ := ParseFacts("R(a,b) R(a,c) S(a,b) S(a,c) S(a,d)")
+	if got := CountRepairs(db); got != "6" {
+		t.Errorf("CountRepairs = %s", got)
+	}
+}
+
+func TestWitnessOnFixpointYes(t *testing.T) {
+	db := instance.MustParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	res, err := CertainOpt(MustParseQuery("RRX"), db, Options{Force: MethodFixpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certain || res.Witness != "0" {
+		t.Errorf("witness = %q, want 0", res.Witness)
+	}
+}

@@ -1,0 +1,67 @@
+// Atlas: enumerate every path query up to a given length and chart the
+// tetrachotomy of Theorem 2 — how many queries are FO, NL-complete,
+// PTIME-complete and coNP-complete, per length and alphabet size — with
+// the shortest representatives of each class.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cqa"
+	"cqa/internal/classify"
+	"cqa/internal/words"
+)
+
+func main() {
+	maxLen := flag.Int("len", 7, "maximum query length")
+	alpha := flag.Int("alpha", 2, "alphabet size (2 or 3)")
+	flag.Parse()
+
+	symbols := []string{"R", "X", "Y"}[:*alpha]
+	perLen := map[int]map[cqa.Class]int{}
+	shortest := map[cqa.Class]words.Word{}
+
+	var rec func(cur words.Word)
+	rec = func(cur words.Word) {
+		if len(cur) > 0 {
+			cls := classify.Classify(cur)
+			if perLen[len(cur)] == nil {
+				perLen[len(cur)] = map[cqa.Class]int{}
+			}
+			perLen[len(cur)][cls]++
+			if w, ok := shortest[cls]; !ok || len(cur) < len(w) {
+				shortest[cls] = cur.Clone()
+			}
+		}
+		if len(cur) == *maxLen {
+			return
+		}
+		for _, s := range symbols {
+			rec(append(cur, s))
+		}
+	}
+	rec(words.Word{})
+
+	fmt.Printf("Tetrachotomy census over alphabet %v, lengths 1..%d\n\n", symbols, *maxLen)
+	fmt.Printf("%6s %10s %10s %10s %10s\n", "len", "FO", "NL", "PTIME", "coNP")
+	for l := 1; l <= *maxLen; l++ {
+		c := perLen[l]
+		fmt.Printf("%6d %10d %10d %10d %10d\n",
+			l, c[cqa.FO], c[cqa.NL], c[cqa.PTime], c[cqa.CoNP])
+	}
+	fmt.Println("\nshortest representatives:")
+	for _, cls := range []cqa.Class{cqa.FO, cqa.NL, cqa.PTime, cqa.CoNP} {
+		if w, ok := shortest[cls]; ok {
+			fmt.Printf("  %-16v %v\n", cls, w)
+		} else {
+			fmt.Printf("  %-16v (none up to length %d)\n", cls, *maxLen)
+		}
+	}
+
+	// Show the evidence for one query of each class.
+	fmt.Println("\nwitness reports:")
+	for _, qs := range []string{"RXRX", "RRX", "RXRYRY", "ARRX"} {
+		fmt.Println(classify.Explain(words.MustParse(qs)))
+	}
+}

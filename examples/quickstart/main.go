@@ -1,0 +1,42 @@
+// Quickstart: classify a path query, decide certainty on an inconsistent
+// instance, and inspect the evidence the library returns.
+package main
+
+import (
+	"fmt"
+
+	"cqa"
+)
+
+func main() {
+	// The query RRX: "some x has an R-successor whose R-successor has an
+	// X-successor" — the running example of the paper (Figure 2).
+	q := cqa.MustParseQuery("RRX")
+	fmt.Println(cqa.Explain(q))
+
+	// An inconsistent instance: the block R(1,*) holds two key-equal
+	// facts, so there are two repairs.
+	db, err := cqa.ParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ninstance:", db)
+	fmt.Println("repairs :", cqa.CountRepairs(db))
+
+	res := cqa.Certain(q, db)
+	fmt.Printf("\nCERTAINTY(q): %v  (class %v, solved by %s)\n", res.Certain, res.Class, res.Method)
+	fmt.Println("note:", res.Note)
+
+	// A no-instance: drop the fact that makes the second repair work.
+	db2, _ := cqa.ParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(2,9)")
+	res2, _ := cqa.CertainOpt(q, db2, cqa.Options{WantCounterexample: true})
+	fmt.Printf("\non %v: certain=%v\n", db2, res2.Certain)
+	if res2.Counterexample != nil {
+		fmt.Println("a repair falsifying q:", res2.Counterexample)
+	}
+
+	// FO-rewritable queries come with an executable first-order formula.
+	if s, err := cqa.Rewrite(cqa.MustParseQuery("RR")); err == nil {
+		fmt.Println("\nconsistent FO rewriting of RR:", s)
+	}
+}

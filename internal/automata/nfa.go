@@ -1,0 +1,259 @@
+// Package automata implements the automata-based perspective of Section 5
+// of the paper: the nondeterministic finite automaton NFA(q) associated
+// with a path query q (Definition 3), the automata S-NFA(q,u) obtained by
+// changing the start state (Definition 5), the prefix-minimal automaton
+// NFAmin(q) (Definition 13), and the DFA algebra (subset construction,
+// product, equivalence) used to machine-check the regular-language lemmas.
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqa/internal/words"
+)
+
+// NFA is NFA(q) for a path query q (Definition 3). Its states are the
+// prefixes of q, identified by their length: state i is the prefix q[:i].
+// State 0 (ε) is initial; state |q| is the only accepting state.
+//
+//   - Forward transitions: i --q[i]--> i+1.
+//   - Backward transitions: ε-moves from state j to state i whenever
+//     0 < i < j and q[i-1] == q[j-1] (both prefixes end with the same
+//     relation name). These capture the rewinding operation.
+type NFA struct {
+	q words.Word
+}
+
+// New returns NFA(q).
+func New(q words.Word) *NFA { return &NFA{q: q.Clone()} }
+
+// Query returns the path query word of the automaton.
+func (a *NFA) Query() words.Word { return a.q.Clone() }
+
+// NumStates returns |q| + 1.
+func (a *NFA) NumStates() int { return len(a.q) + 1 }
+
+// AcceptState returns the accepting state |q|.
+func (a *NFA) AcceptState() int { return len(a.q) }
+
+// ForwardLabel returns the label of the forward transition leaving state
+// i, i.e. q[i]. It panics for the accept state.
+func (a *NFA) ForwardLabel(i int) string { return a.q[i] }
+
+// BackwardTargets returns the states reachable from state j by a single
+// backward ε-transition: all i with 0 < i < j and q[i-1] == q[j-1].
+func (a *NFA) BackwardTargets(j int) []int {
+	if j <= 1 {
+		return nil
+	}
+	last := a.q[j-1]
+	var out []int
+	for i := 1; i < j; i++ {
+		if a.q[i-1] == last {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BackwardSources returns the states j that have a backward ε-transition
+// into state i: all j with i < j <= |q| and q[j-1] == q[i-1]. For i == 0
+// there are none (ε has no last symbol).
+func (a *NFA) BackwardSources(i int) []int {
+	if i == 0 {
+		return nil
+	}
+	last := a.q[i-1]
+	var out []int
+	for j := i + 1; j <= len(a.q); j++ {
+		if a.q[j-1] == last {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// epsClosure extends set (a boolean vector over states) with everything
+// reachable by backward ε-transitions.
+func (a *NFA) epsClosure(set []bool) {
+	// A backward move goes from j to i < j with equal last symbol;
+	// one sweep from high to low suffices because targets of a backward
+	// move can only trigger further moves to even smaller states with
+	// the same last symbol, which the same sweep covers.
+	for j := len(set) - 1; j >= 1; j-- {
+		if !set[j] {
+			continue
+		}
+		for _, i := range a.BackwardTargets(j) {
+			set[i] = true
+		}
+	}
+}
+
+// AcceptsFrom reports whether S-NFA(q, q[:start]) accepts the word w.
+func (a *NFA) AcceptsFrom(start int, w words.Word) bool {
+	n := a.NumStates()
+	cur := make([]bool, n)
+	cur[start] = true
+	a.epsClosure(cur)
+	for _, sym := range w {
+		next := make([]bool, n)
+		any := false
+		for i := 0; i < n-1; i++ {
+			if cur[i] && a.q[i] == sym {
+				next[i+1] = true
+				any = true
+			}
+		}
+		if !any {
+			return false
+		}
+		a.epsClosure(next)
+		cur = next
+	}
+	return cur[a.AcceptState()]
+}
+
+// Accepts reports whether NFA(q) accepts w. By Lemma 4, the accepted
+// language is exactly L↬(q), the rewinding closure of q.
+func (a *NFA) Accepts(w words.Word) bool { return a.AcceptsFrom(0, w) }
+
+// AcceptedWords enumerates all words of length at most maxLen accepted by
+// S-NFA(q, q[:start]), in length-lexicographic order. Used by tests to
+// compare languages.
+func (a *NFA) AcceptedWords(start, maxLen int) []words.Word {
+	d := a.ToDFAFrom(start)
+	return d.AcceptedWords(maxLen)
+}
+
+// DOT renders the automaton in Graphviz format, mirroring Figure 4 of
+// the paper: forward transitions labeled with relation names, backward
+// transitions labeled ε.
+func (a *NFA) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n")
+	name := func(i int) string {
+		if i == 0 {
+			return "ε"
+		}
+		return a.q.Prefix(i).String()
+	}
+	fmt.Fprintf(&b, "  %q [shape=doublecircle];\n", name(a.AcceptState()))
+	fmt.Fprintf(&b, "  start [shape=point];\n  start -> %q;\n", name(0))
+	for i := 0; i < len(a.q); i++ {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", name(i), name(i+1), a.q[i])
+	}
+	for j := 2; j <= len(a.q); j++ {
+		for _, i := range a.BackwardTargets(j) {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"ε\", style=dashed];\n", name(j), name(i))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// subsetKey canonicalizes a state set for the subset construction.
+func subsetKey(set []bool) string {
+	var b strings.Builder
+	for i, v := range set {
+		if v {
+			fmt.Fprintf(&b, "%d,", i)
+		}
+	}
+	return b.String()
+}
+
+// ToDFA determinizes NFA(q) (language L↬(q)).
+func (a *NFA) ToDFA() *DFA { return a.ToDFAFrom(0) }
+
+// ToDFAFrom determinizes S-NFA(q, q[:start]).
+func (a *NFA) ToDFAFrom(start int) *DFA {
+	return a.determinize(start, false)
+}
+
+// MinPrefixDFA returns a DFA for the language of NFAmin(q)
+// (Definition 13): words accepted by NFA(q) none of whose proper prefixes
+// are accepted. Accepting subsets are made absorbing-dead, so a word is
+// accepted exactly when its first accepted prefix is the word itself.
+func (a *NFA) MinPrefixDFA() *DFA {
+	return a.determinize(0, true)
+}
+
+func (a *NFA) determinize(start int, prefixMinimal bool) *DFA {
+	alphabet := a.q.Symbols()
+	n := a.NumStates()
+	init := make([]bool, n)
+	init[start] = true
+	a.epsClosure(init)
+
+	d := &DFA{Alphabet: alphabet}
+	index := map[string]int{}
+	var sets [][]bool
+	add := func(set []bool) int {
+		k := subsetKey(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(sets)
+		index[k] = id
+		sets = append(sets, set)
+		d.Trans = append(d.Trans, map[string]int{})
+		d.Accept = append(d.Accept, set[n-1])
+		return id
+	}
+	d.Start = add(init)
+	for work := []int{d.Start}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		if prefixMinimal && d.Accept[id] {
+			continue // accepting subsets are dead ends in NFAmin
+		}
+		set := sets[id]
+		for _, sym := range alphabet {
+			next := make([]bool, n)
+			any := false
+			for i := 0; i < n-1; i++ {
+				if set[i] && a.q[i] == sym {
+					next[i+1] = true
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			a.epsClosure(next)
+			before := len(sets)
+			nid := add(next)
+			d.Trans[id][sym] = nid
+			if nid == before {
+				work = append(work, nid)
+			}
+		}
+	}
+	return d
+}
+
+// sortedInts returns the indices set in a boolean vector (test helper
+// exported via States below).
+func sortedInts(set []bool) []int {
+	var out []int
+	for i, v := range set {
+		if v {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EpsClosureOf returns the ε-closure of a single state, as sorted state
+// indices. Exposed for tests and for the fixpoint algorithm's backward
+// rule.
+func (a *NFA) EpsClosureOf(j int) []int {
+	set := make([]bool, a.NumStates())
+	set[j] = true
+	a.epsClosure(set)
+	return sortedInts(set)
+}

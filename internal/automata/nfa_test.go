@@ -1,0 +1,262 @@
+package automata
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cqa/internal/words"
+)
+
+func TestFigure4Structure(t *testing.T) {
+	// Figure 4: NFA(RXRRR). States ε, R, RX, RXR, RXRR, RXRRR.
+	a := New(words.MustParse("RXRRR"))
+	if a.NumStates() != 6 || a.AcceptState() != 5 {
+		t.Fatalf("states = %d", a.NumStates())
+	}
+	// Backward transitions: from every state ending in R to every
+	// shorter state ending in R. States ending in R: 1 (R), 3 (RXR),
+	// 4 (RXRR), 5 (RXRRR).
+	cases := map[int][]int{
+		1: nil,
+		2: nil,       // RX ends in X; no shorter prefix ends in X
+		3: {1},       // RXR -> R
+		4: {1, 3},    // RXRR -> R, RXR
+		5: {1, 3, 4}, // RXRRR -> R, RXR, RXRR
+	}
+	for j, want := range cases {
+		if got := a.BackwardTargets(j); !reflect.DeepEqual(got, want) {
+			t.Errorf("BackwardTargets(%d) = %v, want %v", j, got, want)
+		}
+	}
+	// That is 6 backward ε-transitions in total, matching Figure 4.
+	total := 0
+	for j := 0; j <= 5; j++ {
+		total += len(a.BackwardTargets(j))
+	}
+	if total != 6 {
+		t.Errorf("total backward transitions = %d, want 6", total)
+	}
+	if got := a.BackwardSources(1); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Errorf("BackwardSources(1) = %v", got)
+	}
+	if a.BackwardSources(0) != nil {
+		t.Error("ε has no backward sources")
+	}
+}
+
+func TestAcceptsBasics(t *testing.T) {
+	a := New(words.MustParse("RRX"))
+	accept := []string{"RRX", "RRRX", "RRRRX"}
+	reject := []string{"", "R", "RR", "RX", "RRXX", "XRRX", "RRXR"}
+	for _, s := range accept {
+		if !a.Accepts(words.MustParse(s)) {
+			t.Errorf("NFA(RRX) should accept %q", s)
+		}
+	}
+	for _, s := range reject {
+		if a.Accepts(words.MustParse(s)) {
+			t.Errorf("NFA(RRX) should reject %q", s)
+		}
+	}
+}
+
+func TestAcceptsFromStartState(t *testing.T) {
+	// S-NFA(RRX, R) accepts the words w with R·w ∈ RR(R)*X... more
+	// precisely words accepted starting from state 1.
+	a := New(words.MustParse("RRX"))
+	if !a.AcceptsFrom(1, words.MustParse("RX")) {
+		t.Error("S-NFA(RRX, R) accepts RX")
+	}
+	if !a.AcceptsFrom(1, words.MustParse("RRX")) {
+		t.Error("S-NFA(RRX, R) accepts RRX (via backward move)")
+	}
+	if a.AcceptsFrom(1, words.MustParse("X")) {
+		t.Error("S-NFA(RRX, R) rejects X")
+	}
+	if !a.AcceptsFrom(3, words.Word{}) {
+		t.Error("S-NFA(q, q) accepts ε")
+	}
+}
+
+// TestLemma4 machine-checks Lemma 4 on a set of queries: the language of
+// NFA(q) restricted to length <= B equals the rewinding closure L↬(q)
+// restricted to length <= B.
+func TestLemma4(t *testing.T) {
+	queries := []string{"RRX", "RXRX", "RXRY", "RXRYRY", "RXRXRYRY", "ARRX", "RXRRR", "RR", "RSRRR", "RRSRS"}
+	const bound = 11
+	for _, qs := range queries {
+		q := words.MustParse(qs)
+		a := New(q)
+		closure := map[string]bool{}
+		for _, w := range q.RewindClosure(bound) {
+			closure[w.String()] = true
+		}
+		accepted := map[string]bool{}
+		for _, w := range a.AcceptedWords(0, bound) {
+			accepted[w.String()] = true
+		}
+		if !reflect.DeepEqual(closure, accepted) {
+			t.Errorf("q=%s: NFA language and L↬ differ:\n only closure: %v\n only NFA: %v",
+				qs, diff(closure, accepted), diff(accepted, closure))
+		}
+	}
+}
+
+func diff(a, b map[string]bool) []string {
+	var out []string
+	for k := range a {
+		if !b[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestToDFAEquivalentToNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alpha := []string{"R", "X"}
+	for it := 0; it < 50; it++ {
+		n := 1 + rng.Intn(6)
+		w := make(words.Word, n)
+		for i := range w {
+			w[i] = alpha[rng.Intn(2)]
+		}
+		a := New(w)
+		d := a.ToDFA()
+		// Random word membership must agree.
+		for j := 0; j < 100; j++ {
+			m := rng.Intn(10)
+			x := make(words.Word, m)
+			for i := range x {
+				x[i] = alpha[rng.Intn(2)]
+			}
+			if a.Accepts(x) != d.AcceptsWord(x) {
+				t.Fatalf("q=%v word=%v: NFA=%v DFA=%v", w, x, a.Accepts(x), d.AcceptsWord(x))
+			}
+		}
+	}
+}
+
+func TestMinPrefixDFA(t *testing.T) {
+	// Example 6: q = RXRYR. RXRYRYR is accepted by NFA(q) but not by
+	// NFAmin(q), because the proper prefix RXRYR is also accepted.
+	q := words.MustParse("RXRYR")
+	a := New(q)
+	full := a.ToDFA()
+	min := a.MinPrefixDFA()
+	long := words.MustParse("RXRYRYR")
+	if !full.AcceptsWord(long) {
+		t.Fatal("NFA(q) must accept RXRYRYR")
+	}
+	if min.AcceptsWord(long) {
+		t.Error("NFAmin(q) must reject RXRYRYR")
+	}
+	if !min.AcceptsWord(q) {
+		t.Error("NFAmin(q) must accept q itself")
+	}
+}
+
+func TestMinPrefixIsPrefixFree(t *testing.T) {
+	for _, qs := range []string{"RRX", "RXRX", "RXRYRY", "RXRRR", "RXRYR"} {
+		a := New(words.MustParse(qs))
+		min := a.MinPrefixDFA()
+		ws := min.AcceptedWords(9)
+		seen := map[string]bool{}
+		for _, w := range ws {
+			seen[w.String()] = true
+		}
+		for _, w := range ws {
+			for k := 0; k < w.Len(); k++ {
+				if seen[w.Prefix(k).String()] {
+					t.Errorf("q=%s: %v and its proper prefix %v both accepted", qs, w, w.Prefix(k))
+				}
+			}
+		}
+		// And every word of the full language has a prefix in the min
+		// language.
+		full := a.ToDFA().AcceptedWords(9)
+		for _, w := range full {
+			ok := false
+			for k := 0; k <= w.Len(); k++ {
+				if seen[w.Prefix(k).String()] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("q=%s: accepted word %v has no prefix in NFAmin language", qs, w)
+			}
+		}
+	}
+}
+
+func TestDFAEqual(t *testing.T) {
+	a := New(words.MustParse("RRX"))
+	d1 := a.ToDFA()
+	d2 := a.ToDFA()
+	if !d1.Equal(d2) {
+		t.Error("identical DFAs must be equal")
+	}
+	d3 := New(words.MustParse("RRRX")).ToDFA()
+	if d1.Equal(d3) {
+		t.Error("L↬(RRX) != L↬(RRRX): RRX itself distinguishes them")
+	}
+}
+
+func TestDFAIntersectAndComplement(t *testing.T) {
+	d1 := New(words.MustParse("RRX")).ToDFA()  // RR R* X
+	d2 := New(words.MustParse("RRRX")).ToDFA() // RRR R* X
+	inter := d1.Intersect(d2)
+	if inter.AcceptsWord(words.MustParse("RRX")) {
+		t.Error("RRX not in both languages")
+	}
+	if !inter.AcceptsWord(words.MustParse("RRRX")) {
+		t.Error("RRRX is in both languages")
+	}
+	// Complement: d1 ∩ ¬d2 contains exactly RRX among short words.
+	comp := d2.Complement([]string{"R", "X"})
+	both := d1.Intersect(comp)
+	got := both.AcceptedWords(6)
+	if len(got) != 1 || got[0].String() != "RRX" {
+		t.Errorf("d1 ∩ ¬d2 short words = %v, want [RRX]", got)
+	}
+	if d1.IsEmpty() {
+		t.Error("nonempty language reported empty")
+	}
+	empty := d1.Intersect(comp.Complement([]string{"R", "X"}).Intersect(comp))
+	_ = empty
+}
+
+func TestEpsClosureOf(t *testing.T) {
+	a := New(words.MustParse("RXRRR"))
+	if got := a.EpsClosureOf(5); !reflect.DeepEqual(got, []int{1, 3, 4, 5}) {
+		t.Errorf("EpsClosureOf(5) = %v", got)
+	}
+	if got := a.EpsClosureOf(2); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("EpsClosureOf(2) = %v", got)
+	}
+}
+
+func TestDOTOutputs(t *testing.T) {
+	a := New(words.MustParse("RRX"))
+	dot := a.DOT()
+	for _, want := range []string{"doublecircle", `"RR" -> "RRX"`, "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("NFA DOT missing %q:\n%s", want, dot)
+		}
+	}
+	d := a.ToDFA().DOT()
+	if !strings.Contains(d, "digraph dfa") {
+		t.Error("DFA DOT malformed")
+	}
+}
+
+func TestAcceptedWordsOrdering(t *testing.T) {
+	a := New(words.MustParse("RRX"))
+	got := a.AcceptedWords(0, 5)
+	if len(got) != 3 || got[0].String() != "RRX" || got[1].String() != "RRRX" || got[2].String() != "RRRRX" {
+		t.Errorf("AcceptedWords = %v", got)
+	}
+}

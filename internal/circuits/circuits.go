@@ -1,0 +1,200 @@
+// Package circuits implements monotone Boolean circuits and their
+// evaluation — the Monotone Circuit Value Problem (MCVP), which is
+// PTIME-complete (Goldschlager 1977) and is the problem reduced FROM in
+// the PTIME-hardness proof of Lemma 20 (Section 7.3 of the paper).
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GateKind distinguishes inputs, AND gates and OR gates.
+type GateKind int
+
+const (
+	// Input is a circuit input variable.
+	Input GateKind = iota
+	// And is a binary AND gate.
+	And
+	// Or is a binary OR gate.
+	Or
+)
+
+func (k GateKind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case And:
+		return "AND"
+	case Or:
+		return "OR"
+	}
+	return "?"
+}
+
+// Gate is one node of a circuit. In1/In2 name other gates or inputs.
+type Gate struct {
+	Name     string
+	Kind     GateKind
+	In1, In2 string
+}
+
+// Circuit is a monotone Boolean circuit with a designated output gate.
+type Circuit struct {
+	gates  map[string]Gate
+	Output string
+}
+
+// New returns an empty circuit with the given output gate name.
+func New(output string) *Circuit {
+	return &Circuit{gates: map[string]Gate{}, Output: output}
+}
+
+// AddInput declares an input variable.
+func (c *Circuit) AddInput(name string) *Circuit {
+	c.gates[name] = Gate{Name: name, Kind: Input}
+	return c
+}
+
+// AddAnd declares gate name = in1 AND in2.
+func (c *Circuit) AddAnd(name, in1, in2 string) *Circuit {
+	c.gates[name] = Gate{Name: name, Kind: And, In1: in1, In2: in2}
+	return c
+}
+
+// AddOr declares gate name = in1 OR in2.
+func (c *Circuit) AddOr(name, in1, in2 string) *Circuit {
+	c.gates[name] = Gate{Name: name, Kind: Or, In1: in1, In2: in2}
+	return c
+}
+
+// Gate returns the named gate.
+func (c *Circuit) Gate(name string) (Gate, bool) {
+	g, ok := c.gates[name]
+	return g, ok
+}
+
+// Gates returns all gates sorted by name.
+func (c *Circuit) Gates() []Gate {
+	out := make([]Gate, 0, len(c.gates))
+	for _, g := range c.gates {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Inputs returns the input names sorted.
+func (c *Circuit) Inputs() []string {
+	var out []string
+	for _, g := range c.gates {
+		if g.Kind == Input {
+			out = append(out, g.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks that all wires refer to existing gates, the output
+// exists, and the circuit is acyclic.
+func (c *Circuit) Validate() error {
+	if _, ok := c.gates[c.Output]; !ok {
+		return fmt.Errorf("circuits: output gate %q undefined", c.Output)
+	}
+	state := map[string]int{}
+	var visit func(name string) error
+	visit = func(name string) error {
+		g, ok := c.gates[name]
+		if !ok {
+			return fmt.Errorf("circuits: undefined gate %q", name)
+		}
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("circuits: cycle through %q", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		if g.Kind != Input {
+			if err := visit(g.In1); err != nil {
+				return err
+			}
+			if err := visit(g.In2); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		return nil
+	}
+	for name := range c.gates {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval computes the value of every gate under the input assignment σ
+// (missing inputs default to false). This is the MCVP decision problem
+// when projected to the output gate.
+func (c *Circuit) Eval(sigma map[string]bool) map[string]bool {
+	memo := map[string]bool{}
+	var eval func(name string) bool
+	eval = func(name string) bool {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		g := c.gates[name]
+		var v bool
+		switch g.Kind {
+		case Input:
+			v = sigma[name]
+		case And:
+			v = eval(g.In1) && eval(g.In2)
+		case Or:
+			v = eval(g.In1) || eval(g.In2)
+		}
+		memo[name] = v
+		return v
+	}
+	for name := range c.gates {
+		eval(name)
+	}
+	return memo
+}
+
+// Value returns the output value under σ.
+func (c *Circuit) Value(sigma map[string]bool) bool {
+	return c.Eval(sigma)[c.Output]
+}
+
+// Random generates a random layered monotone circuit with nInputs inputs
+// and nGates internal gates, plus a random assignment.
+func Random(rng *rand.Rand, nInputs, nGates int) (*Circuit, map[string]bool) {
+	c := New(fmt.Sprintf("g%d", nGates-1))
+	var pool []string
+	for i := 0; i < nInputs; i++ {
+		name := fmt.Sprintf("x%d", i)
+		c.AddInput(name)
+		pool = append(pool, name)
+	}
+	for i := 0; i < nGates; i++ {
+		name := fmt.Sprintf("g%d", i)
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if rng.Intn(2) == 0 {
+			c.AddAnd(name, a, b)
+		} else {
+			c.AddOr(name, a, b)
+		}
+		pool = append(pool, name)
+	}
+	sigma := map[string]bool{}
+	for i := 0; i < nInputs; i++ {
+		sigma[fmt.Sprintf("x%d", i)] = rng.Intn(2) == 0
+	}
+	return c, sigma
+}

@@ -1,0 +1,89 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEvalSmall(t *testing.T) {
+	// o = (x1 AND x2) OR x3.
+	c := New("o")
+	c.AddInput("x1").AddInput("x2").AddInput("x3")
+	c.AddAnd("g1", "x1", "x2")
+	c.AddOr("o", "g1", "x3")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x1, x2, x3, want bool
+	}{
+		{true, true, false, true},
+		{true, false, false, false},
+		{false, false, true, true},
+		{false, false, false, false},
+	}
+	for _, cs := range cases {
+		sigma := map[string]bool{"x1": cs.x1, "x2": cs.x2, "x3": cs.x3}
+		if got := c.Value(sigma); got != cs.want {
+			t.Errorf("Value(%v) = %v, want %v", sigma, got, cs.want)
+		}
+	}
+	if len(c.Inputs()) != 3 || len(c.Gates()) != 5 {
+		t.Error("structure accessors wrong")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := New("missing")
+	c.AddInput("x")
+	if c.Validate() == nil {
+		t.Error("undefined output must fail")
+	}
+	c2 := New("g")
+	c2.AddAnd("g", "x", "x") // x undefined
+	if c2.Validate() == nil {
+		t.Error("undefined wire must fail")
+	}
+	c3 := New("a")
+	c3.AddAnd("a", "b", "b")
+	c3.AddAnd("b", "a", "a")
+	if c3.Validate() == nil {
+		t.Error("cycle must fail")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Flipping any input from 0 to 1 must never flip the output 1 -> 0.
+	rng := rand.New(rand.NewSource(3))
+	for it := 0; it < 100; it++ {
+		c, sigma := Random(rng, 1+rng.Intn(5), 1+rng.Intn(10))
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		before := c.Value(sigma)
+		for _, x := range c.Inputs() {
+			if sigma[x] {
+				continue
+			}
+			sigma2 := map[string]bool{}
+			for k, v := range sigma {
+				sigma2[k] = v
+			}
+			sigma2[x] = true
+			if before && !c.Value(sigma2) {
+				t.Fatalf("it=%d: monotonicity violated at %s", it, x)
+			}
+		}
+	}
+}
+
+func TestGateKindString(t *testing.T) {
+	for _, k := range []GateKind{Input, And, Or, GateKind(9)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	if _, ok := New("o").Gate("nope"); ok {
+		t.Error("missing gate lookup")
+	}
+}

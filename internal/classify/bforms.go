@@ -1,0 +1,237 @@
+package classify
+
+import (
+	"fmt"
+
+	"cqa/internal/words"
+)
+
+// This file implements the regex-form characterizations of Section 4
+// (Definition 1):
+//
+//	B1:  q is a prefix of w·(v)^k            with vw self-join-free
+//	B2a: q is a factor of (u)^j·w·(v)^k      with uvw self-join-free
+//	B2b: q is a factor of (uv)^k·w·v         with uvw self-join-free
+//	B3:  q is a factor of u·w·(uv)^k         with uvw self-join-free
+//
+// and the equalities C1 = B1 (Lemma 1), C3 = B2a ∪ B2b ∪ B3 (Lemma 2),
+// C2 = B2a ∪ B2b (Lemma 3). Witness search is a bounded enumeration over
+// candidate (u, v, w): by a trimming argument, witnesses may be assumed
+// to use only symbols of q, and pump counts are bounded by the length of
+// q, so the search is exhaustive for the bounded forms (and is used both
+// by the NL solver tier to obtain decompositions and by tests to
+// machine-check the lemmas).
+
+// BWitness is a witness that q has one of the B-forms: q occurs at
+// offset Offset in the pumped word Pumped built from U, V, W with the
+// pump counts J and K (whichever are relevant for the form).
+type BWitness struct {
+	Form    string // "B1", "B2a", "B2b", "B3"
+	U, V, W words.Word
+	J, K    int
+	Pumped  words.Word
+	Offset  int
+}
+
+// String renders the witness.
+func (b BWitness) String() string {
+	switch b.Form {
+	case "B1":
+		return fmt.Sprintf("B1: q prefix of w(v)^k with v=%v w=%v k=%d", b.V, b.W, b.K)
+	case "B2a":
+		return fmt.Sprintf("B2a: q factor of (u)^j w (v)^k at offset %d with u=%v v=%v w=%v j=%d k=%d",
+			b.Offset, b.U, b.V, b.W, b.J, b.K)
+	case "B2b":
+		return fmt.Sprintf("B2b: q factor of (uv)^k wv at offset %d with u=%v v=%v w=%v k=%d",
+			b.Offset, b.U, b.V, b.W, b.K)
+	case "B3":
+		return fmt.Sprintf("B3: q factor of uw(uv)^k at offset %d with u=%v v=%v w=%v k=%d",
+			b.Offset, b.U, b.V, b.W, b.K)
+	}
+	return "unknown B-form"
+}
+
+// enumSJF calls f with every (u, v, w) such that u·v·w is self-join-free
+// over the given alphabet, until f returns true (found); it reports
+// whether f ever returned true.
+func enumSJF(alphabet []string, f func(u, v, w words.Word) bool) bool {
+	m := len(alphabet)
+	used := make([]bool, m)
+	seq := make([]string, 0, m)
+	// Enumerate all self-join-free sequences over the alphabet, then all
+	// 2-split points into (u, v, w).
+	var rec func() bool
+	try := func() bool {
+		n := len(seq)
+		whole := words.Word(seq)
+		for i := 0; i <= n; i++ {
+			for j := i; j <= n; j++ {
+				if f(whole.Factor(0, i), whole.Factor(i, j), whole.Factor(j, n)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	rec = func() bool {
+		if try() {
+			return true
+		}
+		if len(seq) == m {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			seq = append(seq, alphabet[i])
+			if rec() {
+				return true
+			}
+			seq = seq[:len(seq)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+func pumpBound(q words.Word, period words.Word) int {
+	if len(period) == 0 {
+		return 1
+	}
+	return len(q)/len(period) + 2
+}
+
+// FindB1 searches for a B1 witness for q.
+func FindB1(q words.Word) *BWitness {
+	var found *BWitness
+	enumSJF(q.Symbols(), func(_, v, w words.Word) bool {
+		for k := 0; k <= pumpBound(q, v); k++ {
+			p := words.Concat(w, words.Repeat(v, k))
+			if len(p) < len(q) && len(v) == 0 {
+				break
+			}
+			if p.HasPrefix(q) {
+				found = &BWitness{Form: "B1", V: v.Clone(), W: w.Clone(), K: k, Pumped: p, Offset: 0}
+				return true
+			}
+		}
+		return false
+	})
+	return found
+}
+
+// FindB2a searches for a B2a witness for q.
+func FindB2a(q words.Word) *BWitness {
+	var found *BWitness
+	enumSJF(q.Symbols(), func(u, v, w words.Word) bool {
+		ju := pumpBound(q, u)
+		kv := pumpBound(q, v)
+		for j := 0; j <= ju; j++ {
+			for k := 0; k <= kv; k++ {
+				p := words.Concat(words.Repeat(u, j), w, words.Repeat(v, k))
+				if off := p.IndexFactor(q); off >= 0 {
+					found = &BWitness{Form: "B2a", U: u.Clone(), V: v.Clone(), W: w.Clone(),
+						J: j, K: k, Pumped: p, Offset: off}
+					return true
+				}
+				if len(v) == 0 {
+					break
+				}
+			}
+			if len(u) == 0 {
+				break
+			}
+		}
+		return false
+	})
+	return found
+}
+
+// FindB2b searches for a B2b witness for q: q a factor of (uv)^k·w·v.
+func FindB2b(q words.Word) *BWitness {
+	var found *BWitness
+	enumSJF(q.Symbols(), func(u, v, w words.Word) bool {
+		uv := words.Concat(u, v)
+		for k := 0; k <= pumpBound(q, uv); k++ {
+			p := words.Concat(words.Repeat(uv, k), w, v)
+			if off := p.IndexFactor(q); off >= 0 {
+				found = &BWitness{Form: "B2b", U: u.Clone(), V: v.Clone(), W: w.Clone(),
+					K: k, Pumped: p, Offset: off}
+				return true
+			}
+			if len(uv) == 0 {
+				break
+			}
+		}
+		return false
+	})
+	return found
+}
+
+// FindB3 searches for a B3 witness for q: q a factor of u·w·(uv)^k.
+func FindB3(q words.Word) *BWitness {
+	var found *BWitness
+	enumSJF(q.Symbols(), func(u, v, w words.Word) bool {
+		uv := words.Concat(u, v)
+		for k := 0; k <= pumpBound(q, uv); k++ {
+			p := words.Concat(u, w, words.Repeat(uv, k))
+			if off := p.IndexFactor(q); off >= 0 {
+				found = &BWitness{Form: "B3", U: u.Clone(), V: v.Clone(), W: w.Clone(),
+					K: k, Pumped: p, Offset: off}
+				return true
+			}
+			if len(uv) == 0 {
+				break
+			}
+		}
+		return false
+	})
+	return found
+}
+
+// Lemma3Witness is a structural witness that q violates C2 per item (3)
+// of Lemma 3: words u, v, w with u ≠ ε and uvw self-join-free such that
+//
+//	(3a) v ≠ ε and last(u)·w·u·v·u·first(v) is a factor of q, or
+//	(3b) v = ε, w ≠ ε and last(u)·w·u·u·first(u) is a factor of q.
+type Lemma3Witness struct {
+	Kind    string // "3a" or "3b"
+	U, V, W words.Word
+	Factor  words.Word
+}
+
+// String renders the witness.
+func (l Lemma3Witness) String() string {
+	return fmt.Sprintf("%s: u=%v v=%v w=%v, factor %v of q", l.Kind, l.U, l.V, l.W, l.Factor)
+}
+
+// FindLemma3Witness searches for a Lemma 3 item-(3) witness in q.
+func FindLemma3Witness(q words.Word) *Lemma3Witness {
+	var found *Lemma3Witness
+	enumSJF(q.Symbols(), func(u, v, w words.Word) bool {
+		if len(u) == 0 {
+			return false
+		}
+		if len(v) != 0 {
+			f := words.Concat(words.Word{u.Last()}, w, u, v, u, words.Word{v.First()})
+			if q.HasFactor(f) {
+				found = &Lemma3Witness{Kind: "3a", U: u.Clone(), V: v.Clone(), W: w.Clone(), Factor: f}
+				return true
+			}
+			return false
+		}
+		if len(w) == 0 {
+			return false
+		}
+		f := words.Concat(words.Word{u.Last()}, w, u, u, words.Word{u.First()})
+		if q.HasFactor(f) {
+			found = &Lemma3Witness{Kind: "3b", U: u.Clone(), V: v.Clone(), W: w.Clone(), Factor: f}
+			return true
+		}
+		return false
+	})
+	return found
+}

@@ -1,0 +1,181 @@
+// Package classify implements the polynomial-time complexity
+// classification of CERTAINTY(q) for path queries q (Theorems 2 and 3 of
+// the paper): the syntactic conditions C1, C2 and C3 of Section 3, the
+// resulting tetrachotomy FO / NL-complete / PTIME-complete /
+// coNP-complete, and the regex-form characterizations B1, B2a, B2b, B3 of
+// Section 4 together with bounded witness search used to machine-check
+// Lemmas 1–3.
+package classify
+
+import (
+	"fmt"
+
+	"cqa/internal/words"
+)
+
+// Class is the data complexity of CERTAINTY(q) in the tetrachotomy of
+// Theorem 2.
+type Class int
+
+const (
+	// FO: first-order rewritable (q satisfies C1).
+	FO Class = iota
+	// NL: NL-complete (q satisfies C2 but not C1).
+	NL
+	// PTime: PTIME-complete (q satisfies C3 but not C2).
+	PTime
+	// CoNP: coNP-complete (q violates C3).
+	CoNP
+)
+
+// String renders the class name.
+func (c Class) String() string {
+	switch c {
+	case FO:
+		return "FO"
+	case NL:
+		return "NL-complete"
+	case PTime:
+		return "PTIME-complete"
+	case CoNP:
+		return "coNP-complete"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Violation describes why a condition fails, as a decomposition of q.
+type Violation struct {
+	// Pair violation (C1/C3): q = u·R·v·R·w with R = q[I] = q[J],
+	// u = q[:I], v = q[I+1:J], w = q[J+1:], and q is not a
+	// prefix/factor of u·Rv·Rv·Rw.
+	I, J int
+	// Triple is true for the C2 triple condition: q = u·R·v1·R·v2·R·w
+	// for consecutive occurrences I < J < K of R with v1 != v2 and Rw
+	// not a prefix of Rv1.
+	Triple bool
+	K      int
+	Q      words.Word
+}
+
+// String renders the violation decomposition.
+func (v Violation) String() string {
+	q := v.Q
+	if v.Triple {
+		return fmt.Sprintf("q = u·R·v1·R·v2·R·w with u=%v R=%s v1=%v v2=%v w=%v (v1≠v2 and Rw not a prefix of Rv1)",
+			q.Prefix(v.I), q[v.I], q.Factor(v.I+1, v.J), q.Factor(v.J+1, v.K), q.Suffix(v.K+1))
+	}
+	return fmt.Sprintf("q = u·R·v·R·w with u=%v R=%s v=%v w=%v; rewound word %v",
+		q.Prefix(v.I), q[v.I], q.Factor(v.I+1, v.J), q.Suffix(v.J+1), q.Rewind(v.I, v.J))
+}
+
+// C1 reports whether q satisfies condition C1: whenever q = uRvRw, q is a
+// prefix of uRvRvRw. The returned violation (if any) is the first
+// witnessing decomposition.
+func C1(q words.Word) (bool, *Violation) {
+	for _, p := range q.SelfJoinPairs() {
+		if !q.Rewind(p[0], p[1]).HasPrefix(q) {
+			return false, &Violation{I: p[0], J: p[1], Q: q.Clone()}
+		}
+	}
+	return true, nil
+}
+
+// C3 reports whether q satisfies condition C3: whenever q = uRvRw, q is a
+// factor of uRvRvRw.
+func C3(q words.Word) (bool, *Violation) {
+	for _, p := range q.SelfJoinPairs() {
+		if !q.Rewind(p[0], p[1]).HasFactor(q) {
+			return false, &Violation{I: p[0], J: p[1], Q: q.Clone()}
+		}
+	}
+	return true, nil
+}
+
+// C2 reports whether q satisfies condition C2: (i) whenever q = uRvRw, q
+// is a factor of uRvRvRw (i.e. C3); and (ii) whenever q = uRv1Rv2Rw for
+// consecutive occurrences of R, v1 = v2 or Rw is a prefix of Rv1.
+func C2(q words.Word) (bool, *Violation) {
+	if ok, v := C3(q); !ok {
+		return false, v
+	}
+	for _, sym := range q.Symbols() {
+		occ := q.Occurrences(sym)
+		for t := 0; t+2 < len(occ); t++ {
+			i, j, k := occ[t], occ[t+1], occ[t+2]
+			v1 := q.Factor(i+1, j)
+			v2 := q.Factor(j+1, k)
+			w := q.Suffix(k + 1)
+			if v1.Equal(v2) {
+				continue
+			}
+			// Rw prefix of Rv1 ⟺ w prefix of v1 (both start with R).
+			if v1.HasPrefix(w) {
+				continue
+			}
+			return false, &Violation{I: i, J: j, K: k, Triple: true, Q: q.Clone()}
+		}
+	}
+	return true, nil
+}
+
+// Classify returns the complexity class of CERTAINTY(q) per Theorem 3.
+func Classify(q words.Word) Class {
+	if ok, _ := C1(q); ok {
+		return FO
+	}
+	if ok, _ := C2(q); ok {
+		return NL
+	}
+	if ok, _ := C3(q); ok {
+		return PTime
+	}
+	return CoNP
+}
+
+// Report bundles the full classification evidence for a query.
+type Report struct {
+	Query words.Word
+	Class Class
+	C1    bool
+	C2    bool
+	C3    bool
+	// ViolC1/ViolC2/ViolC3 are witnessing decompositions for the
+	// violated conditions (nil when satisfied).
+	ViolC1 *Violation
+	ViolC2 *Violation
+	ViolC3 *Violation
+}
+
+// Explain computes the full classification report for q.
+func Explain(q words.Word) Report {
+	r := Report{Query: q.Clone()}
+	r.C1, r.ViolC1 = C1(q)
+	r.C2, r.ViolC2 = C2(q)
+	r.C3, r.ViolC3 = C3(q)
+	switch {
+	case r.C1:
+		r.Class = FO
+	case r.C2:
+		r.Class = NL
+	case r.C3:
+		r.Class = PTime
+	default:
+		r.Class = CoNP
+	}
+	return r
+}
+
+// String renders the report in a human-readable form.
+func (r Report) String() string {
+	s := fmt.Sprintf("q = %v: CERTAINTY(q) is %v  [C1=%v C2=%v C3=%v]", r.Query, r.Class, r.C1, r.C2, r.C3)
+	if !r.C1 && r.ViolC1 != nil && r.C2 {
+		s += "\n  C1 violated: " + r.ViolC1.String()
+	}
+	if !r.C2 && r.ViolC2 != nil && r.C3 {
+		s += "\n  C2 violated: " + r.ViolC2.String()
+	}
+	if !r.C3 && r.ViolC3 != nil {
+		s += "\n  C3 violated: " + r.ViolC3.String()
+	}
+	return s
+}

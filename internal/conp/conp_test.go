@@ -1,0 +1,116 @@
+package conp
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/instance"
+	"cqa/internal/repairs"
+	"cqa/internal/words"
+)
+
+func TestFigure2(t *testing.T) {
+	db := instance.MustParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	res := IsCertain(db, words.MustParse("RRX"))
+	if !res.Certain {
+		t.Fatal("Figure 2 is a yes-instance of CERTAINTY(RRX)")
+	}
+	if res.Counterexample != nil {
+		t.Error("yes-instance must have no counterexample")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	db := instance.MustParseFacts("A(0,a) R(a,b) R(a,c) R(b,c) R(c,b) X(c,t)")
+	q := words.MustParse("ARRX")
+	res := IsCertain(db, q)
+	if res.Certain {
+		t.Fatal("Figure 3 is a no-instance of CERTAINTY(ARRX)")
+	}
+	cex := res.Counterexample
+	if cex == nil || !cex.IsRepairOf(db) {
+		t.Fatalf("bad counterexample: %v", cex)
+	}
+	if cex.Satisfies(q) {
+		t.Errorf("counterexample %s satisfies q", cex)
+	}
+}
+
+func TestAgainstExhaustiveAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	queries := []words.Word{
+		words.MustParse("RXRX"),     // FO
+		words.MustParse("RRX"),      // NL
+		words.MustParse("RXRYRY"),   // PTIME
+		words.MustParse("ARRX"),     // coNP
+		words.MustParse("RXRXRYRY"), // coNP
+		words.MustParse("RR"),       // FO
+	}
+	for it := 0; it < 300; it++ {
+		db := instance.New()
+		n := 1 + rng.Intn(9)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "X", "Y", "A"}[rng.Intn(4)]
+			db.AddFact(rel, string(rune('a'+rng.Intn(4))), string(rune('a'+rng.Intn(4))))
+		}
+		for _, q := range queries {
+			res := IsCertain(db, q)
+			want := repairs.IsCertain(db, q)
+			if res.Certain != want {
+				t.Fatalf("it=%d db=%s q=%v: sat=%v exhaustive=%v", it, db, q, res.Certain, want)
+			}
+			if !res.Certain {
+				if res.Counterexample == nil || !res.Counterexample.IsRepairOf(db) ||
+					res.Counterexample.Satisfies(q) {
+					t.Fatalf("it=%d db=%s q=%v: invalid counterexample %v", it, db, q, res.Counterexample)
+				}
+			}
+		}
+	}
+}
+
+func TestCyclicWalkCounterexampleHandling(t *testing.T) {
+	// The instance of the Lemma 12 discrepancy: exact-trace walks that
+	// reuse a chosen fact must be visible to the encoding (the z-chain
+	// handles them because z[c,i] quantifies over positions, not facts).
+	db := instance.MustParseFacts("R(a,b) R(b,a) R(c,a) R(c,c) X(b,b) X(c,a)")
+	q := words.MustParse("RRX")
+	res := IsCertain(db, q)
+	want := repairs.IsCertain(db, q)
+	if res.Certain != want {
+		t.Fatalf("sat=%v exhaustive=%v", res.Certain, want)
+	}
+}
+
+func TestEmptyQueryAndEmptyDB(t *testing.T) {
+	if !IsCertain(instance.New(), words.MustParse("RRX")).Certain == false {
+		t.Error("empty db is a no-instance for a nonempty query")
+	}
+	if !IsCertain(instance.MustParseFacts("R(a,b)"), words.Word{}).Certain {
+		t.Error("empty query is certain")
+	}
+}
+
+func TestEncodingSize(t *testing.T) {
+	db := instance.MustParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	v, c := EncodingSize(db, words.MustParse("RRX"))
+	if v == 0 || c == 0 {
+		t.Error("expected nonzero encoding")
+	}
+	v0, c0 := EncodingSize(db, words.Word{})
+	if v0 != 0 || c0 != 0 {
+		t.Error("empty query encodes to nothing")
+	}
+	res := IsCertain(db, words.MustParse("RRX"))
+	if res.Vars != v || res.Clauses != c {
+		t.Errorf("size mismatch: (%d,%d) vs (%d,%d)", res.Vars, res.Clauses, v, c)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	db := instance.MustParseFacts("A(0,a) R(a,b) R(a,c) R(b,c) R(c,b) X(c,t)")
+	res := IsCertain(db, words.MustParse("ARRX"))
+	if res.Propagations == 0 {
+		t.Error("expected solver activity")
+	}
+}

@@ -1,0 +1,158 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/instance"
+	"cqa/internal/repairs"
+	"cqa/internal/words"
+)
+
+// Example 1 / Figure 1 of the paper: the instance with all four R-facts
+// and all four S-facts over {a,b}.
+func figure1() *instance.Instance {
+	return instance.MustParseFacts(
+		"R(a,a) R(a,b) R(b,a) R(b,b) S(a,a) S(a,b) S(b,a) S(b,b)")
+}
+
+func TestExample1SelfJoin(t *testing.T) {
+	// q1 = ∃x∃y (R(x,y) ∧ R(y,x)): Figure 1 is a YES-instance.
+	q1 := New(
+		Atom{Rel: "R", S: Var("x"), T: Var("y")},
+		Atom{Rel: "R", S: Var("y"), T: Var("x")},
+	)
+	if !IsCertain(figure1(), q1) {
+		t.Error("Example 1: yes-instance of CERTAINTY(q1) expected")
+	}
+}
+
+func TestExample1SelfJoinFree(t *testing.T) {
+	// q2 = ∃x∃y (R(x,y) ∧ S(y,x)): Figure 1 is a NO-instance; the
+	// witness repair from the paper is {R(a,a), R(b,b), S(a,b), S(b,a)}.
+	q2 := New(
+		Atom{Rel: "R", S: Var("x"), T: Var("y")},
+		Atom{Rel: "S", S: Var("y"), T: Var("x")},
+	)
+	db := figure1()
+	if IsCertain(db, q2) {
+		t.Error("Example 1: no-instance of CERTAINTY(q2) expected")
+	}
+	witness := instance.MustParseFacts("R(a,a) R(b,b) S(a,b) S(b,a)")
+	if !witness.IsRepairOf(db) {
+		t.Fatal("paper witness is not a repair?")
+	}
+	if Satisfied(witness, q2) {
+		t.Error("paper witness repair must falsify q2")
+	}
+}
+
+func TestExample2(t *testing.T) {
+	// q1 = ∃x∃y∃z (R(x,z) ∧ R(y,z)): CERTAINTY(q1) is in FO; a db is a
+	// yes-instance iff it satisfies ∃x∃y R(x,y).
+	q1 := New(
+		Atom{Rel: "R", S: Var("x"), T: Var("z")},
+		Atom{Rel: "R", S: Var("y"), T: Var("z")},
+	)
+	yes := instance.MustParseFacts("R(a,b) R(a,c)")
+	no := instance.MustParseFacts("S(a,b)")
+	if !IsCertain(yes, q1) {
+		t.Error("any db with an R-fact is a yes-instance")
+	}
+	if IsCertain(no, q1) {
+		t.Error("db without R-facts is a no-instance")
+	}
+}
+
+func TestConstantsInAtoms(t *testing.T) {
+	q := New(Atom{Rel: "R", S: Const("a"), T: Var("y")},
+		Atom{Rel: "S", S: Var("y"), T: Const("z0")})
+	db := instance.MustParseFacts("R(a,b) S(b,z0)")
+	if !Satisfied(db, q) {
+		t.Error("should match via y=b")
+	}
+	db2 := instance.MustParseFacts("R(a,b) S(b,z1)")
+	if Satisfied(db2, q) {
+		t.Error("constant z0 must not match z1")
+	}
+}
+
+func TestFindValuation(t *testing.T) {
+	q := FromPath(words.MustParse("RRX"))
+	db := instance.MustParseFacts("R(0,1) R(1,2) X(2,3)")
+	v := FindValuation(db, q)
+	if v == nil {
+		t.Fatal("expected a valuation")
+	}
+	want := map[string]string{"x1": "0", "x2": "1", "x3": "2", "x4": "3"}
+	for k, w := range want {
+		if v[k] != w {
+			t.Errorf("v[%s] = %s, want %s", k, v[k], w)
+		}
+	}
+}
+
+func TestFromPathAgreesWithTraceMatcher(t *testing.T) {
+	// Differential test: the generic homomorphism matcher and the
+	// path-trace DP must agree on arbitrary instances, for arbitrary
+	// path queries (a path query is satisfied by db iff db has a walk
+	// with that trace).
+	rng := rand.New(rand.NewSource(11))
+	alpha := []string{"R", "X"}
+	queries := []words.Word{
+		words.MustParse("R"), words.MustParse("RR"), words.MustParse("RRX"),
+		words.MustParse("RXR"), words.MustParse("RXRX"),
+	}
+	for it := 0; it < 300; it++ {
+		db := instance.New()
+		nFacts := 1 + rng.Intn(8)
+		for i := 0; i < nFacts; i++ {
+			rel := alpha[rng.Intn(len(alpha))]
+			k := string(rune('a' + rng.Intn(4)))
+			v := string(rune('a' + rng.Intn(4)))
+			db.AddFact(rel, k, v)
+		}
+		for _, q := range queries {
+			got := Satisfied(db, FromPath(q))
+			want := db.Satisfies(q)
+			if got != want {
+				t.Fatalf("it=%d db=%s q=%v: cq=%v trace=%v", it, db, q, got, want)
+			}
+		}
+	}
+}
+
+func TestIsCertainAgreesWithRepairsPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for it := 0; it < 100; it++ {
+		db := instance.New()
+		nFacts := 1 + rng.Intn(7)
+		for i := 0; i < nFacts; i++ {
+			db.AddFact("R", string(rune('a'+rng.Intn(3))), string(rune('a'+rng.Intn(3))))
+		}
+		q := words.MustParse("RR")
+		if got, want := IsCertain(db, FromPath(q)), repairs.IsCertain(db, q); got != want {
+			t.Fatalf("it=%d db=%s: cq=%v repairs=%v", it, db, got, want)
+		}
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	q := FromPath(words.MustParse("RRX"))
+	if q.IsSelfJoinFree() {
+		t.Error("RRX has a self-join")
+	}
+	if !FromPath(words.MustParse("RX")).IsSelfJoinFree() {
+		t.Error("RX is self-join-free")
+	}
+	vars := q.Vars()
+	if len(vars) != 4 || vars[0] != "x1" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if got := q.String(); got != "{R(x1,x2), R(x2,x3), X(x3,x4)}" {
+		t.Errorf("String = %s", got)
+	}
+	if got := Const("c").String(); got != "'c'" {
+		t.Errorf("const term renders as %s", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package datalog implements a Datalog engine with stratified negation:
+// AST, parser, safety and stratification checks (via Tarjan SCC on the
+// predicate dependency graph), and semi-naive bottom-up evaluation. It
+// exists to run the linear Datalog programs with stratified negation that
+// Section 6.3 of the paper constructs for the NL-complete cases of
+// CERTAINTY(q) (Lemma 14 and Claim 5), and doubles as a general substrate
+// (the paper's Lemma 11 places the PTIME cases in Least Fixpoint Logic;
+// our Figure 5 implementation lives in internal/fixpoint).
+//
+// Syntax (Prolog-ish): variables start with an uppercase letter,
+// constants with a lowercase letter or digit (or are single-quoted).
+// Rules end with a period. Negation is "not". The builtins X = Y and
+// X != Y are supported with infix syntax.
+//
+//	uvterminal(X) :- c(X), not ukey(X).
+//	path(X,Z) :- edge(X,Y), path(Y,Z), X != Z.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a variable or a constant.
+type Term struct {
+	Name string
+	Var  bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Name: name, Var: true} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Name: name} }
+
+func (t Term) String() string { return t.Name }
+
+// Atom is pred(args...). The builtin predicates "=" and "!=" are
+// binary.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// IsBuiltin reports whether the atom is an equality builtin.
+func (a Atom) IsBuiltin() bool { return a.Pred == "=" || a.Pred == "!=" }
+
+func (a Atom) String() string {
+	if a.IsBuiltin() {
+		return fmt.Sprintf("%s %s %s", a.Args[0], a.Pred, a.Args[1])
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+}
+
+// Literal is a possibly negated atom.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Rule is head :- body. An empty body makes the rule a fact (the head
+// must then be ground).
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a list of rules.
+type Program struct {
+	Rules []Rule
+}
+
+func (p Program) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// IDBPredicates returns the predicates that appear in some rule head,
+// sorted.
+func (p Program) IDBPredicates() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range p.Rules {
+		if !seen[r.Head.Pred] {
+			seen[r.Head.Pred] = true
+			out = append(out, r.Head.Pred)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks arity consistency and safety: every variable of the
+// head, of a negated literal and of a builtin must occur in a positive
+// non-builtin body literal.
+func (p Program) Validate() error {
+	arity := map[string]int{}
+	check := func(a Atom) error {
+		if a.IsBuiltin() {
+			if len(a.Args) != 2 {
+				return fmt.Errorf("datalog: builtin %s needs 2 arguments", a.Pred)
+			}
+			return nil
+		}
+		if n, ok := arity[a.Pred]; ok {
+			if n != len(a.Args) {
+				return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, n, len(a.Args))
+			}
+		} else {
+			arity[a.Pred] = len(a.Args)
+		}
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		if r.Head.IsBuiltin() {
+			return fmt.Errorf("datalog: builtin %s cannot be a rule head", r.Head.Pred)
+		}
+		positive := map[string]bool{}
+		for _, l := range r.Body {
+			if err := check(l.Atom); err != nil {
+				return err
+			}
+			if !l.Negated && !l.Atom.IsBuiltin() {
+				for _, t := range l.Atom.Args {
+					if t.Var {
+						positive[t.Name] = true
+					}
+				}
+			}
+		}
+		unsafe := func(a Atom) *string {
+			for _, t := range a.Args {
+				if t.Var && !positive[t.Name] {
+					return &t.Name
+				}
+			}
+			return nil
+		}
+		if v := unsafe(r.Head); v != nil {
+			return fmt.Errorf("datalog: unsafe rule %s: head variable %s not bound by a positive literal", r, *v)
+		}
+		for _, l := range r.Body {
+			if l.Negated || l.Atom.IsBuiltin() {
+				if v := unsafe(l.Atom); v != nil {
+					return fmt.Errorf("datalog: unsafe rule %s: variable %s in %s not bound by a positive literal", r, *v, l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsLinear reports whether the program is linear Datalog: every rule
+// body contains at most one IDB literal from the same recursive
+// component as the head. Linear Datalog with stratified negation
+// evaluates in NL, which is how Lemma 14 places the C2 cases in NL.
+func (p Program) IsLinear() (bool, string) {
+	strata, err := p.Stratify()
+	if err != nil {
+		return false, err.Error()
+	}
+	stratumOf := map[string]int{}
+	for i, s := range strata {
+		for _, pred := range s {
+			stratumOf[pred] = i
+		}
+	}
+	for _, r := range p.Rules {
+		hs, ok := stratumOf[r.Head.Pred]
+		if !ok {
+			continue
+		}
+		sameStratum := 0
+		for _, l := range r.Body {
+			if l.Atom.IsBuiltin() || l.Negated {
+				continue
+			}
+			if s, ok := stratumOf[l.Atom.Pred]; ok && s == hs && p.isRecursiveWith(r.Head.Pred, l.Atom.Pred, strata[hs]) {
+				sameStratum++
+			}
+		}
+		if sameStratum > 1 {
+			return false, fmt.Sprintf("rule %s has %d recursive body literals", r, sameStratum)
+		}
+	}
+	return true, ""
+}
+
+// isRecursiveWith reports whether a and b are mutually recursive (in the
+// same SCC listed by stratum members).
+func (p Program) isRecursiveWith(a, b string, stratum []string) bool {
+	// Within a stratum, predicates may still be non-recursive with each
+	// other; compute SCCs of the positive+negative dependency graph.
+	sccs := p.sccs()
+	for _, scc := range sccs {
+		inA, inB := false, false
+		for _, p := range scc {
+			if p == a {
+				inA = true
+			}
+			if p == b {
+				inB = true
+			}
+		}
+		if inA && inB {
+			return true
+		}
+	}
+	_ = stratum
+	return false
+}

@@ -1,0 +1,313 @@
+package datalog
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseAndString(t *testing.T) {
+	src := `
+% transitive closure
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y), edge(Y,Z).
+start(a).
+`
+	p := MustParse(src)
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if got := p.Rules[0].String(); got != "path(X,Y) :- edge(X,Y)." {
+		t.Errorf("String = %q", got)
+	}
+	if got := p.Rules[2].String(); got != "start(a)." {
+		t.Errorf("String = %q", got)
+	}
+	if !strings.Contains(p.String(), "path(X,Z)") {
+		t.Error("program string")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"p(X).",                   // non-ground fact
+		"p(X) :- q(Y).",           // unsafe head
+		"p(X) :- q(X), not r(Y).", // unsafe negation
+		"p(X) :- q(X), X != Y.",   // unsafe builtin
+		"p(X) :- q(X,Y), q(Y).",   // arity clash
+		"p(X) :- q(X)",            // missing period
+		"P(X) :- q(X).",           // uppercase predicate
+		"p(X) :- q(X), 'unclosed", // unterminated quote
+		"p(X) :- @(X).",           // bad character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	p := MustParse(`
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y), edge(Y,Z).
+`)
+	edb := NewDatabase()
+	edb.Add("edge", "a", "b")
+	edb.Add("edge", "b", "c")
+	edb.Add("edge", "c", "d")
+	out, err := p.Query(edb, "path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("path has %d tuples, want 6: %v", len(out), out)
+	}
+	db, _ := p.Eval(edb)
+	if !db.Contains("path", "a", "d") || db.Contains("path", "d", "a") {
+		t.Error("closure wrong")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	p := MustParse(`
+reach(X) :- source(X).
+reach(Y) :- reach(X), edge(X,Y).
+node(X) :- edge(X,Y).
+node(Y) :- edge(X,Y).
+unreach(X) :- node(X), not reach(X).
+`)
+	edb := NewDatabase()
+	edb.Add("source", "a")
+	edb.Add("edge", "a", "b")
+	edb.Add("edge", "c", "d")
+	db, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Unary("unreach"); !reflect.DeepEqual(got, []string{"c", "d"}) {
+		t.Errorf("unreach = %v", got)
+	}
+	if got := db.Unary("reach"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("reach = %v", got)
+	}
+}
+
+func TestNotStratifiable(t *testing.T) {
+	p, err := Parse(`
+win(X) :- move(X,Y), not win(Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Eval(NewDatabase()); err == nil {
+		t.Error("win/move program must be rejected as unstratifiable")
+	}
+	if _, err := p.Stratify(); err == nil {
+		t.Error("Stratify must fail")
+	}
+}
+
+func TestStratifyLayers(t *testing.T) {
+	p := MustParse(`
+a(X) :- e(X).
+b(X) :- a(X), not c(X).
+c(X) :- e(X), not a(X).
+`)
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := map[string]int{}
+	for i, s := range strata {
+		for _, pred := range s {
+			level[pred] = i
+		}
+	}
+	if !(level["a"] < level["c"] && level["c"] < level["b"]) {
+		t.Errorf("strata = %v", strata)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	p := MustParse(`
+diff(X,Y) :- e(X), e(Y), X != Y.
+same(X,Y) :- e(X), e(Y), X = Y.
+`)
+	edb := NewDatabase()
+	edb.Add("e", "a")
+	edb.Add("e", "b")
+	db, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Facts("diff")) != 2 {
+		t.Errorf("diff = %v", db.Facts("diff"))
+	}
+	if len(db.Facts("same")) != 2 {
+		t.Errorf("same = %v", db.Facts("same"))
+	}
+	if !db.Contains("diff", "a", "b") || db.Contains("diff", "a", "a") {
+		t.Error("!= semantics wrong")
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	p := MustParse(`
+hit(X) :- edge(X, target).
+special(yes) :- edge(a, b).
+`)
+	edb := NewDatabase()
+	edb.Add("edge", "a", "target")
+	edb.Add("edge", "a", "b")
+	db, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Unary("hit"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("hit = %v", got)
+	}
+	if got := db.Unary("special"); !reflect.DeepEqual(got, []string{"yes"}) {
+		t.Errorf("special = %v", got)
+	}
+}
+
+func TestFactsInProgram(t *testing.T) {
+	p := MustParse(`
+e(a,b).
+e(b,c).
+tc(X,Y) :- e(X,Y).
+tc(X,Z) :- tc(X,Y), e(Y,Z).
+`)
+	db, err := p.Eval(NewDatabase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains("tc", "a", "c") {
+		t.Error("facts in program not used")
+	}
+}
+
+func TestIsLinear(t *testing.T) {
+	linear := MustParse(`
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y), edge(Y,Z).
+`)
+	if ok, why := linear.IsLinear(); !ok {
+		t.Errorf("linear program reported nonlinear: %s", why)
+	}
+	nonlinear := MustParse(`
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y), path(Y,Z).
+`)
+	if ok, _ := nonlinear.IsLinear(); ok {
+		t.Error("doubled recursion is not linear")
+	}
+	// Mutual recursion through two predicates, one occurrence each:
+	// still linear.
+	mutual := MustParse(`
+even(X) :- zero(X).
+even(Y) :- odd(X), succ(X,Y).
+odd(Y) :- even(X), succ(X,Y).
+`)
+	if ok, why := mutual.IsLinear(); !ok {
+		t.Errorf("mutual single recursion is linear: %s", why)
+	}
+}
+
+func TestSemiNaiveMatchesNaiveOnRandomGraphs(t *testing.T) {
+	// Differential: evaluate transitive closure and compare with a
+	// straightforward Floyd–Warshall style closure.
+	p := MustParse(`
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y), edge(Y,Z).
+`)
+	rng := rand.New(rand.NewSource(71))
+	for it := 0; it < 60; it++ {
+		n := 2 + rng.Intn(6)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		edb := NewDatabase()
+		for e := 0; e < n+rng.Intn(2*n); e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			adj[a][b] = true
+			edb.Add("edge", name(a), name(b))
+		}
+		// closure
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = append([]bool(nil), adj[i]...)
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		db, err := p.Eval(edb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if reach[i][j] != db.Contains("path", name(i), name(j)) {
+					t.Fatalf("it=%d: path(%s,%s) mismatch", it, name(i), name(j))
+				}
+			}
+		}
+	}
+}
+
+func name(i int) string { return string(rune('a' + i)) }
+
+func TestDatabaseHelpers(t *testing.T) {
+	d := NewDatabase()
+	if !d.Add("p", "a") || d.Add("p", "a") {
+		t.Error("Add dedup wrong")
+	}
+	d.Add("q", "a", "b")
+	if got := d.Predicates(); !reflect.DeepEqual(got, []string{"p", "q"}) {
+		t.Errorf("Predicates = %v", got)
+	}
+	c := d.Clone()
+	c.Add("p", "z")
+	if d.Contains("p", "z") {
+		t.Error("clone not independent")
+	}
+	if FormatTuples("p", d.Facts("p")) != "p(a)" {
+		t.Errorf("FormatTuples = %q", FormatTuples("p", d.Facts("p")))
+	}
+}
+
+func TestPropositionalAtoms(t *testing.T) {
+	p := MustParse(`
+ok :- flagged.
+flagged.
+`)
+	db, err := p.Eval(NewDatabase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains("ok") {
+		t.Error("propositional derivation failed")
+	}
+}
+
+func TestQuotedConstants(t *testing.T) {
+	p := MustParse(`hit(X) :- e(X, 'Weird Const').`)
+	edb := NewDatabase()
+	edb.Add("e", "a", "Weird Const")
+	db, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains("hit", "a") {
+		t.Error("quoted constant not matched")
+	}
+}

@@ -1,0 +1,322 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of constants.
+type Tuple []string
+
+func key(t Tuple) string { return strings.Join(t, "\x00") }
+
+// Database holds extensional and derived facts by predicate.
+type Database struct {
+	rels map[string][]Tuple
+	seen map[string]map[string]bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: map[string][]Tuple{}, seen: map[string]map[string]bool{}}
+}
+
+// Add inserts a fact; it reports whether the fact was new.
+func (d *Database) Add(pred string, args ...string) bool {
+	t := Tuple(args)
+	k := key(t)
+	if d.seen[pred] == nil {
+		d.seen[pred] = map[string]bool{}
+	}
+	if d.seen[pred][k] {
+		return false
+	}
+	d.seen[pred][k] = true
+	d.rels[pred] = append(d.rels[pred], append(Tuple(nil), t...))
+	return true
+}
+
+// Contains reports whether the fact is present.
+func (d *Database) Contains(pred string, args ...string) bool {
+	return d.seen[pred][key(Tuple(args))]
+}
+
+// Facts returns the tuples of pred in insertion order.
+func (d *Database) Facts(pred string) []Tuple { return d.rels[pred] }
+
+// Unary returns the sorted constants c with pred(c).
+func (d *Database) Unary(pred string) []string {
+	var out []string
+	for _, t := range d.rels[pred] {
+		if len(t) == 1 {
+			out = append(out, t[0])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicates returns the predicates with at least one fact, sorted.
+func (d *Database) Predicates() []string {
+	var out []string
+	for p, ts := range d.rels {
+		if len(ts) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for p, ts := range d.rels {
+		for _, t := range ts {
+			out.Add(p, t...)
+		}
+	}
+	return out
+}
+
+// Eval evaluates the program bottom-up over the extensional database,
+// stratum by stratum with semi-naive iteration, and returns a database
+// containing both the extensional and all derived facts.
+func (p Program) Eval(edb *Database) (*Database, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+
+	stratumOf := map[string]int{}
+	for i, s := range strata {
+		for _, pred := range s {
+			stratumOf[pred] = i
+		}
+	}
+
+	for si, stratum := range strata {
+		inStratum := map[string]bool{}
+		for _, pred := range stratum {
+			inStratum[pred] = true
+		}
+		var rules []Rule
+		for _, r := range p.Rules {
+			if stratumOf[r.Head.Pred] == si {
+				rules = append(rules, r)
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+
+		// Round 0: full evaluation of every rule.
+		delta := NewDatabase()
+		for _, r := range rules {
+			for _, t := range evalRule(r, db, nil, -1) {
+				if db.Add(r.Head.Pred, t...) {
+					delta.Add(r.Head.Pred, t...)
+				}
+			}
+		}
+		// Semi-naive rounds: each rule fires once per occurrence of a
+		// recursive (same-stratum) positive literal, with that literal
+		// bound to the delta.
+		for {
+			next := NewDatabase()
+			for _, r := range rules {
+				for bi, l := range r.Body {
+					if l.Negated || l.Atom.IsBuiltin() || !inStratum[l.Atom.Pred] {
+						continue
+					}
+					for _, t := range evalRule(r, db, delta, bi) {
+						if db.Add(r.Head.Pred, t...) {
+							next.Add(r.Head.Pred, t...)
+						}
+					}
+				}
+			}
+			empty := true
+			for _, pr := range next.Predicates() {
+				if len(next.Facts(pr)) > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				break
+			}
+			delta = next
+		}
+	}
+	return db, nil
+}
+
+// evalRule returns the head tuples derivable from db (with body literal
+// deltaIdx, if >= 0, restricted to the delta database). Literals are
+// evaluated with a greedy safe ordering: a positive relational literal
+// is always available; builtins and negated literals wait until their
+// variables are bound.
+func evalRule(r Rule, db, delta *Database, deltaIdx int) []Tuple {
+	var out []Tuple
+	n := len(r.Body)
+	used := make([]bool, n)
+	env := map[string]string{}
+
+	var rec func(done int)
+	rec = func(done int) {
+		if done == n {
+			t := make(Tuple, len(r.Head.Args))
+			for i, a := range r.Head.Args {
+				if a.Var {
+					t[i] = env[a.Name]
+				} else {
+					t[i] = a.Name
+				}
+			}
+			out = append(out, t)
+			return
+		}
+		// Choose the next literal: prefer bound builtins/negations
+		// (cheap filters), else a positive literal with the most bound
+		// arguments.
+		pick := -1
+		pickScore := -1
+		for i, l := range r.Body {
+			if used[i] {
+				continue
+			}
+			if l.Atom.IsBuiltin() || l.Negated {
+				if boundAtom(l.Atom, env) {
+					pick = i
+					pickScore = 1 << 20
+					break
+				}
+				continue
+			}
+			score := 0
+			for _, a := range l.Atom.Args {
+				if !a.Var {
+					score += 2
+				} else if _, ok := env[a.Name]; ok {
+					score += 2
+				}
+			}
+			if score > pickScore {
+				pick = i
+				pickScore = score
+			}
+		}
+		if pick < 0 {
+			// Only unbound builtins/negations remain: unsafe rule; the
+			// Validate pass prevents this.
+			panic("datalog: unsafe rule slipped through validation: " + r.String())
+		}
+		used[pick] = true
+		defer func() { used[pick] = false }()
+		l := r.Body[pick]
+
+		if l.Atom.IsBuiltin() {
+			a, _ := termValue(l.Atom.Args[0], env)
+			b, _ := termValue(l.Atom.Args[1], env)
+			ok := a == b
+			if l.Atom.Pred == "!=" {
+				ok = !ok
+			}
+			if ok {
+				rec(done + 1)
+			}
+			return
+		}
+		if l.Negated {
+			t := make(Tuple, len(l.Atom.Args))
+			for i, a := range l.Atom.Args {
+				t[i], _ = termValue(a, env)
+			}
+			if !db.Contains(l.Atom.Pred, t...) {
+				rec(done + 1)
+			}
+			return
+		}
+
+		src := db
+		if pick == deltaIdx {
+			src = delta
+		}
+		for _, t := range src.Facts(l.Atom.Pred) {
+			var bound []string
+			ok := true
+			for i, a := range l.Atom.Args {
+				if !a.Var {
+					if t[i] != a.Name {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, has := env[a.Name]; has {
+					if v != t[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				env[a.Name] = t[i]
+				bound = append(bound, a.Name)
+			}
+			if ok {
+				rec(done + 1)
+			}
+			for _, v := range bound {
+				delete(env, v)
+			}
+		}
+		return
+	}
+	rec(0)
+	return out
+}
+
+func boundAtom(a Atom, env map[string]string) bool {
+	for _, t := range a.Args {
+		if t.Var {
+			if _, ok := env[t.Name]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func termValue(t Term, env map[string]string) (string, bool) {
+	if !t.Var {
+		return t.Name, true
+	}
+	v, ok := env[t.Name]
+	return v, ok
+}
+
+// Query evaluates the program and returns the derived tuples of pred.
+func (p Program) Query(edb *Database, pred string) ([]Tuple, error) {
+	db, err := p.Eval(edb)
+	if err != nil {
+		return nil, err
+	}
+	out := db.Facts(pred)
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out, nil
+}
+
+// FormatTuples renders tuples for debugging.
+func FormatTuples(pred string, ts []Tuple) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%s(%s)", pred, strings.Join(t, ","))
+	}
+	return strings.Join(parts, " ")
+}

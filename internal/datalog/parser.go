@@ -1,0 +1,229 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a Datalog program. Comments run from '%' or "//" to end
+// of line.
+func Parse(src string) (Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Program{}, err
+	}
+	p := &parser{toks: toks}
+	var prog Program
+	for !p.eof() {
+		r, err := p.rule()
+		if err != nil {
+			return Program{}, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return Program{}, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type token struct {
+	kind string // ident, var, punct
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == ':' && i+1 < n && src[i+1] == '-':
+			toks = append(toks, token{"punct", ":-", i})
+			i += 2
+		case c == '!' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{"punct", "!=", i})
+			i += 2
+		case strings.ContainsRune("(),.=", rune(c)):
+			toks = append(toks, token{"punct", string(c), i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < n && src[j] != '\'' {
+				j++
+			}
+			if j == n {
+				return nil, fmt.Errorf("datalog: unterminated quote at %d", i)
+			}
+			toks = append(toks, token{"ident", src[i+1 : j], i})
+			i = j + 1
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := "ident"
+			if unicode.IsUpper(rune(text[0])) || text[0] == '_' {
+				kind = "var"
+			}
+			toks = append(toks, token{kind, text, i})
+			i = j
+		default:
+			return nil, fmt.Errorf("datalog: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) eof() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"eof", "", -1}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("datalog: expected %q, got %q at %d", text, t.text, t.pos)
+	}
+	return nil
+}
+
+// rule parses: head [:- body] '.'.
+func (p *parser) rule() (Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return Rule{}, err
+	}
+	r := Rule{Head: head}
+	if p.peek().text == ":-" {
+		p.next()
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return Rule{}, err
+			}
+			r.Body = append(r.Body, lit)
+			if p.peek().text != "," {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expect("."); err != nil {
+		return Rule{}, err
+	}
+	if len(r.Body) == 0 {
+		for _, a := range r.Head.Args {
+			if a.Var {
+				return Rule{}, fmt.Errorf("datalog: fact %s must be ground", r.Head)
+			}
+		}
+	}
+	return r, nil
+}
+
+func (p *parser) literal() (Literal, error) {
+	neg := false
+	if t := p.peek(); t.kind == "ident" && t.text == "not" {
+		p.next()
+		neg = true
+	}
+	a, err := p.atom()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Atom: a, Negated: neg}, nil
+}
+
+// atom parses pred(args) or the infix builtins T = T, T != T.
+func (p *parser) atom() (Atom, error) {
+	t := p.next()
+	if t.kind != "ident" && t.kind != "var" {
+		return Atom{}, fmt.Errorf("datalog: expected atom, got %q at %d", t.text, t.pos)
+	}
+	// Infix builtin? lookahead for = or !=.
+	if op := p.peek().text; op == "=" || op == "!=" {
+		p.next()
+		rhs := p.next()
+		if rhs.kind != "ident" && rhs.kind != "var" {
+			return Atom{}, fmt.Errorf("datalog: expected term after %s at %d", op, rhs.pos)
+		}
+		return Atom{Pred: op, Args: []Term{tokTerm(t), tokTerm(rhs)}}, nil
+	}
+	if t.kind == "var" {
+		return Atom{}, fmt.Errorf("datalog: predicate name %q cannot start uppercase at %d", t.text, t.pos)
+	}
+	a := Atom{Pred: t.text}
+	if p.peek().text != "(" {
+		return a, nil // propositional atom
+	}
+	p.next()
+	for {
+		arg := p.next()
+		if arg.kind != "ident" && arg.kind != "var" {
+			return Atom{}, fmt.Errorf("datalog: expected term, got %q at %d", arg.text, arg.pos)
+		}
+		a.Args = append(a.Args, tokTerm(arg))
+		sep := p.next()
+		if sep.text == ")" {
+			break
+		}
+		if sep.text != "," {
+			return Atom{}, fmt.Errorf("datalog: expected , or ) at %d", sep.pos)
+		}
+	}
+	return a, nil
+}
+
+func tokTerm(t token) Term {
+	if t.kind == "var" {
+		return V(t.text)
+	}
+	return C(t.text)
+}

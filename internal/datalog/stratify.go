@@ -1,0 +1,153 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// depEdge is an edge of the predicate dependency graph.
+type depEdge struct {
+	from, to string // head depends on body predicate
+	negative bool
+}
+
+func (p Program) depEdges() []depEdge {
+	var out []depEdge
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Atom.IsBuiltin() {
+				continue
+			}
+			out = append(out, depEdge{from: r.Head.Pred, to: l.Atom.Pred, negative: l.Negated})
+		}
+	}
+	return out
+}
+
+// sccs returns the strongly connected components of the predicate
+// dependency graph (Tarjan), each sorted, in reverse topological order
+// (dependencies first).
+func (p Program) sccs() [][]string {
+	edges := p.depEdges()
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, pr := range p.IDBPredicates() {
+		nodes[pr] = true
+	}
+	for _, e := range edges {
+		nodes[e.from] = true
+		nodes[e.to] = true
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var out [][]string
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			out = append(out, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// Stratify partitions the IDB predicates into strata such that negated
+// dependencies always point to strictly lower strata. It returns an
+// error when the program is not stratifiable (a negative edge inside a
+// recursive component). EDB-only predicates are placed in stratum 0
+// together with non-recursive IDB predicates that depend on nothing
+// negated.
+func (p Program) Stratify() ([][]string, error) {
+	sccs := p.sccs()
+	comp := map[string]int{}
+	for i, scc := range sccs {
+		for _, pred := range scc {
+			comp[pred] = i
+		}
+	}
+	// Negative edge within a component => not stratifiable.
+	for _, e := range p.depEdges() {
+		if e.negative && comp[e.from] == comp[e.to] {
+			return nil, fmt.Errorf("datalog: not stratifiable: %s depends negatively on %s within a cycle", e.from, e.to)
+		}
+	}
+	// Longest-path layering over the component DAG: stratum(c) >=
+	// stratum(dep), strictly greater across negative edges.
+	n := len(sccs)
+	stratum := make([]int, n)
+	for changed := true; changed; {
+		changed = false
+		for _, e := range p.depEdges() {
+			cf, ct := comp[e.from], comp[e.to]
+			if cf == ct {
+				continue
+			}
+			need := stratum[ct]
+			if e.negative {
+				need++
+			}
+			if stratum[cf] < need {
+				stratum[cf] = need
+				changed = true
+				if stratum[cf] > n {
+					return nil, fmt.Errorf("datalog: stratification did not converge")
+				}
+			}
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]string, maxS+1)
+	for i, scc := range sccs {
+		out[stratum[i]] = append(out[stratum[i]], scc...)
+	}
+	for _, s := range out {
+		sort.Strings(s)
+	}
+	return out, nil
+}

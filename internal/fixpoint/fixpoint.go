@@ -1,0 +1,430 @@
+// Package fixpoint implements the polynomial-time algorithm of Figure 5
+// of the paper, which decides CERTAINTY(q) for every path query q
+// satisfying condition C3 (Section 6.1). It computes the fixed point of
+// the relation
+//
+//	N = { ⟨c, u⟩ | db ⊢q ⟨c, u⟩ }
+//
+// where db ⊢q ⟨c, u⟩ means that every repair of db has a path that
+// starts in c and is accepted by S-NFA(q, u) (Definition 10). States u
+// are prefixes of q, identified by their length.
+//
+// Two implementations are provided: a worklist algorithm running in
+// O(|q|²·|db|) and a naive round-based variant that records the
+// iteration trace of Figure 6. The package also implements the
+// ⪯q-minimal repair construction of Lemmas 9 and 10, which yields
+// counterexample repairs for no-instances, and states sets
+// (Definition 7) for machine-checking Lemma 8.
+package fixpoint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqa/internal/automata"
+	"cqa/internal/instance"
+	"cqa/internal/words"
+)
+
+// Pair is a member ⟨C, U⟩ of the relation N: every repair has a path
+// starting at C accepted by S-NFA(q, q[:U]).
+type Pair struct {
+	C string
+	U int
+}
+
+// Result is the output of the fixpoint computation.
+type Result struct {
+	Query words.Word
+	// N[c] is the set of prefix lengths u with ⟨c, u⟩ ∈ N.
+	N map[string]map[int]bool
+	// Certain reports whether some ⟨c, ε⟩ ∈ N, which by Lemma 7 and
+	// Corollary 1 decides CERTAINTY(q) when q satisfies C3.
+	Certain bool
+	// Starts is the set of constants c with ⟨c, ε⟩ ∈ N: the constants
+	// that start an accepted path in every repair (Corollary 1).
+	Starts []string
+}
+
+// Has reports whether ⟨c, u⟩ ∈ N.
+func (r *Result) Has(c string, u int) bool { return r.N[c][u] }
+
+// Solve runs the worklist implementation of the Figure 5 algorithm on db
+// for path query q. The Certain field of the result decides
+// CERTAINTY(q) whenever q satisfies C3.
+func Solve(db *instance.Instance, q words.Word) *Result {
+	n := len(q)
+	adom := db.Adom()
+	res := &Result{Query: q.Clone(), N: make(map[string]map[int]bool, len(adom))}
+	if n == 0 {
+		res.Certain = true // empty query: trivially certain
+		for _, c := range adom {
+			res.N[c] = map[int]bool{0: true}
+			res.Starts = append(res.Starts, c)
+		}
+		return res
+	}
+
+	// pending[u] lists, for prefix length u (0..n-1) with next relation
+	// R = q[u], the blocks R(c,*): counters of successors y not yet
+	// known to satisfy ⟨y, u+1⟩.
+	type blockState struct {
+		c       string
+		pending int
+		done    bool
+	}
+	// For each u, index block states by key constant.
+	states := make([]map[string]*blockState, n)
+	// succIndex[rel][y] lists (u, key) pairs that decrement when
+	// ⟨y, u+1⟩ is derived... we index by value constant.
+	type ref struct {
+		u   int
+		key string
+	}
+	succ := make(map[string]map[string][]ref) // rel -> val -> refs
+	for u := 0; u < n; u++ {
+		states[u] = make(map[string]*blockState)
+		rel := q[u]
+		if succ[rel] == nil {
+			succ[rel] = make(map[string][]ref)
+		}
+		for _, id := range db.Blocks() {
+			if id.Rel != rel {
+				continue
+			}
+			vals := db.Block(id.Rel, id.Key)
+			states[u][id.Key] = &blockState{c: id.Key, pending: len(vals)}
+			for _, v := range vals {
+				succ[rel][v] = append(succ[rel][v], ref{u: u, key: id.Key})
+			}
+		}
+	}
+
+	inN := make(map[Pair]bool)
+	var queue []Pair
+	add := func(c string, u int) {
+		p := Pair{c, u}
+		if inN[p] {
+			return
+		}
+		inN[p] = true
+		queue = append(queue, p)
+	}
+
+	// Backward closure: when ⟨c, u⟩ is derived forward, also add ⟨c, w⟩
+	// for every state w with a backward ε-transition to u, i.e. every
+	// longer prefix w ending with the same relation name as u.
+	backSources := make([][]int, n+1)
+	nfa := automata.New(q)
+	for u := 0; u <= n; u++ {
+		backSources[u] = nfa.BackwardSources(u)
+	}
+
+	// Initialization step: ⟨c, q⟩ for every c ∈ adom(db).
+	for _, c := range adom {
+		add(c, n)
+	}
+
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.U == 0 {
+			continue
+		}
+		u := p.U - 1
+		rel := q[u]
+		for _, r := range succ[rel][p.C] {
+			if r.u != u {
+				continue
+			}
+			st := states[u][r.key]
+			st.pending--
+			if st.pending == 0 && !st.done {
+				st.done = true
+				add(st.c, u)
+				for _, w := range backSources[u] {
+					add(st.c, w)
+				}
+			}
+		}
+	}
+
+	for p := range inN {
+		if res.N[p.C] == nil {
+			res.N[p.C] = make(map[int]bool)
+		}
+		res.N[p.C][p.U] = true
+	}
+	for _, c := range adom {
+		if res.N[c][0] {
+			res.Certain = true
+			res.Starts = append(res.Starts, c)
+		}
+	}
+	sort.Strings(res.Starts)
+	return res
+}
+
+// succ dedup note: a fact R(c,y) contributes one ref per position u with
+// q[u] == R; each ⟨y, u+1⟩ decrements the (u, c) counter exactly once
+// because facts are distinct and refs are walked per derived pair.
+
+// Trace records one round of the naive implementation: the pairs added
+// in that round, mirroring the table of Figure 6.
+type Trace struct {
+	Round int
+	Added []Pair
+}
+
+// SolveNaive runs the round-based implementation of Figure 5: in each
+// round the Iterative Rule is applied to all pairs derivable from the
+// current N. It returns the result together with the per-round trace
+// (Figure 6 of the paper).
+func SolveNaive(db *instance.Instance, q words.Word) (*Result, []Trace) {
+	n := len(q)
+	adom := db.Adom()
+	inN := make(map[Pair]bool)
+	nfa := automata.New(q)
+	for _, c := range adom {
+		inN[Pair{c, n}] = true
+	}
+	var traces []Trace
+	for round := 1; ; round++ {
+		var added []Pair
+		for u := 0; u < n; u++ {
+			rel := q[u]
+			for _, id := range db.Blocks() {
+				if id.Rel != rel || inN[Pair{id.Key, u}] {
+					continue
+				}
+				all := true
+				for _, y := range db.Block(id.Rel, id.Key) {
+					if !inN[Pair{y, u + 1}] {
+						all = false
+						break
+					}
+				}
+				if !all {
+					continue
+				}
+				added = append(added, Pair{id.Key, u})
+				for _, w := range nfa.BackwardSources(u) {
+					if !inN[Pair{id.Key, w}] {
+						added = append(added, Pair{id.Key, w})
+					}
+				}
+			}
+		}
+		// Deduplicate and commit the round.
+		var committed []Pair
+		for _, p := range added {
+			if !inN[p] {
+				inN[p] = true
+				committed = append(committed, p)
+			}
+		}
+		if len(committed) == 0 {
+			break
+		}
+		sort.Slice(committed, func(i, j int) bool {
+			if committed[i].C != committed[j].C {
+				return committed[i].C < committed[j].C
+			}
+			return committed[i].U < committed[j].U
+		})
+		traces = append(traces, Trace{Round: round, Added: committed})
+	}
+
+	res := &Result{Query: q.Clone(), N: make(map[string]map[int]bool)}
+	for p := range inN {
+		if res.N[p.C] == nil {
+			res.N[p.C] = make(map[int]bool)
+		}
+		res.N[p.C][p.U] = true
+	}
+	for _, c := range adom {
+		if res.N[c][0] || n == 0 {
+			res.Certain = true
+			res.Starts = append(res.Starts, c)
+		}
+	}
+	sort.Strings(res.Starts)
+	if n == 0 {
+		res.Certain = true
+	}
+	return res, traces
+}
+
+// FormatTrace renders the rounds in the style of the Figure 6 table.
+func FormatTrace(q words.Word, traces []Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Iteration | Tuples added to N (q = %v)\n", q)
+	for _, tr := range traces {
+		parts := make([]string, len(tr.Added))
+		for i, p := range tr.Added {
+			parts[i] = fmt.Sprintf("<%s, %v>", p.C, q.Prefix(p.U))
+		}
+		fmt.Fprintf(&b, "%9d | %s\n", tr.Round, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// CounterexampleRepair constructs the repair r* of the proof of
+// Lemma 10: for every block R(a,*), among all prefixes u0·R of q ending
+// with R, let u0 be the longest with ⟨a, u0⟩ ∉ N; if such a prefix
+// exists, pick a fact R(a,b) with ⟨b, u0·R⟩ ∉ N, else pick arbitrarily
+// (we pick the smallest value for determinism). For a path query q
+// satisfying C3, if db is a no-instance then the returned repair
+// falsifies q; it is also the ⪯q-minimal repair of Lemma 9, minimizing
+// start(q, ·) over all repairs (Lemma 6).
+func CounterexampleRepair(db *instance.Instance, q words.Word, res *Result) *instance.Instance {
+	if res == nil {
+		res = Solve(db, q)
+	}
+	r := instance.New()
+	for _, id := range db.Blocks() {
+		vals := db.Block(id.Rel, id.Key)
+		chosen := vals[0]
+		// Longest prefix u0 ending before an occurrence of id.Rel with
+		// ⟨key, u0⟩ ∉ N.
+		for u := len(q) - 1; u >= 0; u-- {
+			if q[u] != id.Rel {
+				continue
+			}
+			if res.Has(id.Key, u) {
+				continue
+			}
+			// Iterative Rule guarantees some successor with
+			// ⟨y, u+1⟩ ∉ N.
+			found := false
+			for _, y := range vals {
+				if !res.Has(y, u+1) {
+					chosen = y
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Cannot happen if res is the true fixpoint.
+				panic(fmt.Sprintf("fixpoint: block %v: ⟨%s,%d⟩ ∉ N but all successors in N", id, id.Key, u))
+			}
+			break
+		}
+		r.AddFact(id.Rel, id.Key, chosen)
+	}
+	return r
+}
+
+// StatesSet computes ST_q(f, r) of Definition 7 for a fact f of a
+// consistent instance r: the set of states u·R (as prefix lengths) such
+// that S-NFA(q, u) accepts some path of r that starts with the fact f.
+func StatesSet(r *instance.Instance, q words.Word, f instance.Fact) map[int]bool {
+	out := make(map[int]bool)
+	nfa := automata.New(q)
+	for u := 0; u < len(q); u++ {
+		if q[u] != f.Rel {
+			continue
+		}
+		// S-NFA(q, u) must accept a path starting with f: first step
+		// consumes f (state u -> u+1), then any accepted continuation
+		// from f.Val.
+		if acceptsFromVia(r, nfa, u+1, f.Val) {
+			out[u+1] = true
+		}
+	}
+	return out
+}
+
+// acceptsFromVia reports whether some path of r starting at constant c
+// is accepted by the automaton started at state "state" (including via
+// ε-moves and further steps).
+func acceptsFromVia(r *instance.Instance, nfa *automata.NFA, state int, c string) bool {
+	n := nfa.NumStates()
+	// BFS over (state-set, constant) configurations; r is consistent so
+	// each constant has at most one successor per relation.
+	type cfg struct {
+		key string
+		c   string
+	}
+	start := make([]bool, n)
+	start[state] = true
+	closure(nfa, start)
+	seen := map[cfg]bool{}
+	queue := []struct {
+		set []bool
+		c   string
+	}{{start, c}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.set[n-1] {
+			return true
+		}
+		k := cfg{key: setKey(cur.set), c: cur.c}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		// Group moves by relation.
+		for _, rel := range r.Relations() {
+			succ := r.Block(rel, cur.c)
+			if len(succ) == 0 {
+				continue
+			}
+			next := make([]bool, n)
+			any := false
+			for i := 0; i < n-1; i++ {
+				if cur.set[i] && nfa.ForwardLabel(i) == rel {
+					next[i+1] = true
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			closure(nfa, next)
+			queue = append(queue, struct {
+				set []bool
+				c   string
+			}{next, succ[0]})
+		}
+	}
+	return false
+}
+
+func closure(nfa *automata.NFA, set []bool) {
+	for j := len(set) - 1; j >= 1; j-- {
+		if set[j] {
+			for _, i := range nfa.BackwardTargets(j) {
+				set[i] = true
+			}
+		}
+	}
+}
+
+func setKey(set []bool) string {
+	b := make([]byte, len(set))
+	for i, v := range set {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// CertainViaMinimalRepair decides CERTAINTY(q) for q satisfying C3 by
+// the Lemma 6 route: build the ⪯q-minimal repair r* (which minimizes
+// start(q, ·) over all repairs) and test whether it satisfies q. For C3
+// queries, r* satisfies q iff start(q, r*) is nonempty iff db is a
+// yes-instance. Exposed primarily for differential testing against
+// Solve.
+func CertainViaMinimalRepair(db *instance.Instance, q words.Word) bool {
+	if len(q) == 0 {
+		return true
+	}
+	res := Solve(db, q)
+	return CounterexampleRepair(db, q, res).Satisfies(q)
+}

@@ -1,0 +1,216 @@
+// Package fo implements first-order logic over database instances: a
+// formula AST with an active-domain evaluator, and the consistent
+// first-order rewritings of Section 6.2 of the paper (Lemmas 12 and 13),
+// together with the equivalent linear-time dynamic program and the
+// terminal-vertex test of Lemma 17 used by the NL tier.
+package fo
+
+import (
+	"fmt"
+	"strings"
+
+	"cqa/internal/instance"
+)
+
+// Formula is a first-order formula over binary relations, with
+// quantifiers ranging over the active domain.
+type Formula interface {
+	fmt.Stringer
+	eval(db *instance.Instance, env map[string]string) bool
+}
+
+// Atom is R(s, t); S and T are variable names unless marked constant via
+// a leading '\” — use the Var/Const helpers instead of raw strings.
+type Atom struct {
+	Rel  string
+	S, T Term
+}
+
+// Term is a variable or constant in a formula.
+type Term struct {
+	Name  string
+	Const bool
+}
+
+// Var returns a variable term.
+func Var(n string) Term { return Term{Name: n} }
+
+// Const returns a constant term.
+func Const(n string) Term { return Term{Name: n, Const: true} }
+
+func (t Term) String() string {
+	if t.Const {
+		return "'" + t.Name + "'"
+	}
+	return t.Name
+}
+
+func (t Term) value(env map[string]string) (string, bool) {
+	if t.Const {
+		return t.Name, true
+	}
+	v, ok := env[t.Name]
+	return v, ok
+}
+
+// Truth is the constant true (or false) formula.
+type Truth struct{ Value bool }
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// And is conjunction of all conjuncts (empty = true).
+type And struct{ Fs []Formula }
+
+// Or is disjunction of all disjuncts (empty = false).
+type Or struct{ Fs []Formula }
+
+// Implies is material implication.
+type Implies struct{ P, Q Formula }
+
+// Exists is existential quantification of Var over the active domain.
+type Exists struct {
+	Var string
+	F   Formula
+}
+
+// Forall is universal quantification of Var over the active domain.
+type Forall struct {
+	Var string
+	F   Formula
+}
+
+// Eq is equality of two terms.
+type Eq struct{ S, T Term }
+
+func (a Atom) String() string { return fmt.Sprintf("%s(%s,%s)", a.Rel, a.S, a.T) }
+func (t Truth) String() string {
+	if t.Value {
+		return "true"
+	}
+	return "false"
+}
+func (n Not) String() string { return "¬" + paren(n.F) }
+func (a And) String() string { return joinFormulas(a.Fs, " ∧ ", "true") }
+func (o Or) String() string  { return joinFormulas(o.Fs, " ∨ ", "false") }
+func (i Implies) String() string {
+	return paren(i.P) + " → " + paren(i.Q)
+}
+func (e Exists) String() string { return "∃" + e.Var + " " + paren(e.F) }
+func (f Forall) String() string { return "∀" + f.Var + " " + paren(f.F) }
+func (e Eq) String() string     { return e.S.String() + " = " + e.T.String() }
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Atom, Truth, Not, Eq:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+func joinFormulas(fs []Formula, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = paren(f)
+	}
+	return strings.Join(parts, sep)
+}
+
+func (a Atom) eval(db *instance.Instance, env map[string]string) bool {
+	s, ok := a.S.value(env)
+	if !ok {
+		panic(fmt.Sprintf("fo: unbound variable %s in %s", a.S, a))
+	}
+	t, ok := a.T.value(env)
+	if !ok {
+		panic(fmt.Sprintf("fo: unbound variable %s in %s", a.T, a))
+	}
+	return db.Contains(instance.Fact{Rel: a.Rel, Key: s, Val: t})
+}
+
+func (t Truth) eval(*instance.Instance, map[string]string) bool { return t.Value }
+
+func (n Not) eval(db *instance.Instance, env map[string]string) bool { return !n.F.eval(db, env) }
+
+func (a And) eval(db *instance.Instance, env map[string]string) bool {
+	for _, f := range a.Fs {
+		if !f.eval(db, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o Or) eval(db *instance.Instance, env map[string]string) bool {
+	for _, f := range o.Fs {
+		if f.eval(db, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (i Implies) eval(db *instance.Instance, env map[string]string) bool {
+	return !i.P.eval(db, env) || i.Q.eval(db, env)
+}
+
+func (e Exists) eval(db *instance.Instance, env map[string]string) bool {
+	old, had := env[e.Var]
+	defer restore(env, e.Var, old, had)
+	for _, c := range db.Adom() {
+		env[e.Var] = c
+		if e.F.eval(db, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f Forall) eval(db *instance.Instance, env map[string]string) bool {
+	old, had := env[f.Var]
+	defer restore(env, f.Var, old, had)
+	for _, c := range db.Adom() {
+		env[f.Var] = c
+		if !f.F.eval(db, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e Eq) eval(_ *instance.Instance, env map[string]string) bool {
+	s, ok := e.S.value(env)
+	if !ok {
+		panic("fo: unbound variable in equality")
+	}
+	t, ok := e.T.value(env)
+	if !ok {
+		panic("fo: unbound variable in equality")
+	}
+	return s == t
+}
+
+func restore(env map[string]string, k, old string, had bool) {
+	if had {
+		env[k] = old
+	} else {
+		delete(env, k)
+	}
+}
+
+// Eval evaluates a sentence (formula without free variables) on db.
+func Eval(db *instance.Instance, f Formula) bool {
+	return f.eval(db, map[string]string{})
+}
+
+// EvalWith evaluates f under the given variable bindings.
+func EvalWith(db *instance.Instance, f Formula, env map[string]string) bool {
+	if env == nil {
+		env = map[string]string{}
+	}
+	return f.eval(db, env)
+}

@@ -1,0 +1,199 @@
+package genq
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/classify"
+	"cqa/internal/conp"
+	"cqa/internal/instance"
+	"cqa/internal/repairs"
+	"cqa/internal/words"
+)
+
+func TestParseAndString(t *testing.T) {
+	// Example 8: q = {R(x,y), S(y,0), T(0,1), R(1,w)}.
+	q := MustParse("R(x,y) S(y,0) T(0,1) R(1,w)")
+	if q.Len() != 4 || !q.HasConstants() {
+		t.Fatalf("parsed %v", q)
+	}
+	if q.Consts[2] != "0" || q.Consts[3] != "1" {
+		t.Errorf("constants: %v", q.Consts)
+	}
+	if q.String() == "" {
+		t.Error("empty string")
+	}
+	for _, bad := range []string{"R(x)", "R(x,y) S(z,w)", "R(x,0) S(0,0)", "Rxy"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestCharPrefixExample8(t *testing.T) {
+	// char(q) = {R(x,y), S(y,0)}.
+	q := MustParse("R(x,y) S(y,0) T(0,1) R(1,w)")
+	ch, gamma := q.CharPrefix()
+	if ch.Len() != 2 || gamma != "0" {
+		t.Errorf("char = %v, γ = %q", ch, gamma)
+	}
+	if got := ch.Word().String(); got != "RS" {
+		t.Errorf("char word = %s", got)
+	}
+	rest := q.Rest()
+	if rest.Len() != 2 || rest.Consts[0] != "0" {
+		t.Errorf("rest = %v", rest)
+	}
+}
+
+func TestExtExample10(t *testing.T) {
+	// Example 10: q = R(x,y), S(y,0), T(0,1), R(1,w) has
+	// ext(q) = R(x,y), S(y,z), N(z,u).
+	q := MustParse("R(x,y) S(y,0) T(0,1) R(1,w)")
+	if got := q.Ext().String(); got != "RSN" {
+		t.Errorf("ext = %s, want RSN", got)
+	}
+	// Constant-free queries are their own extension.
+	p := FromWord(words.MustParse("RRX"))
+	if got := p.Ext().String(); got != "RRX" {
+		t.Errorf("ext = %s", got)
+	}
+	// Fresh relation name avoidance.
+	q2 := MustParse("N(x,0) R(0,y)")
+	ext := q2.Ext()
+	if ext[len(ext)-1] == "N" {
+		t.Errorf("fresh relation clashes: %v", ext)
+	}
+}
+
+func TestHomomorphismExample9(t *testing.T) {
+	// Example 9: q = {R(x,y), R(y,1), S(1,z)}: char(q) = [[RR, 1]];
+	// p = [[RRR, 1]]. There is a homomorphism from char(q) to p but no
+	// prefix homomorphism.
+	char9 := charQuery(words.MustParse("RR"), "1")
+	p9 := charQuery(words.MustParse("RRR"), "1")
+	if !homomorphism(char9, p9, false) {
+		t.Error("homomorphism must exist (offset 1)")
+	}
+	if homomorphism(char9, p9, true) {
+		t.Error("prefix homomorphism must not exist")
+	}
+}
+
+func TestDConditionsDegenerateToC(t *testing.T) {
+	// For constant-free queries D1/D2/D3 are C1/C2/C3.
+	rng := rand.New(rand.NewSource(111))
+	for it := 0; it < 2000; it++ {
+		n := rng.Intn(7)
+		w := make(words.Word, n)
+		for i := range w {
+			w[i] = []string{"R", "X", "Y"}[rng.Intn(3)]
+		}
+		q := FromWord(w)
+		c1, _ := classify.C1(w)
+		c2, _ := classify.C2(w)
+		c3, _ := classify.C3(w)
+		if D1(q) != c1 || D2(q) != c2 || D3(q) != c3 {
+			t.Fatalf("%v: D=(%v,%v,%v) C=(%v,%v,%v)", w, D1(q), D2(q), D3(q), c1, c2, c3)
+		}
+	}
+}
+
+func TestTheorem5Trichotomy(t *testing.T) {
+	// Queries with a constant are FO, NL-complete or coNP-complete —
+	// never PTIME-complete (Theorem 5); check classification output and
+	// Lemma 30 (D3 implies D2 for constant-bearing queries).
+	cases := []struct {
+		q    string
+		want classify.Class
+	}{
+		{"R(x,0)", classify.FO},        // sjf with end constant
+		{"S(x,y) R(y,0)", classify.FO}, // sjf characteristic prefix
+		// [[RR, 0]]: the end constant breaks the prefix homomorphism
+		// (RR itself is C1/FO, but anchoring its end pins the query to
+		// the suffix of the pumped word), so the query is NL-complete.
+		{"R(x,y) R(y,0)", classify.NL},
+		{"R(x,y) R(y,z) X(z,0)", classify.NL},        // [[RRX, 0]]
+		{"R(x,y) X(y,z) R(z,w) Y(w,0)", classify.NL}, // RXRY with constant
+	}
+	for _, c := range cases {
+		q := MustParse(c.q)
+		if got := Classify(q); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.q, got, c.want)
+		}
+		if D3(q) && !D2(q) {
+			t.Errorf("%s: D3 without D2 contradicts Lemma 30", c.q)
+		}
+	}
+}
+
+func TestRXRXWithConstantIsNL(t *testing.T) {
+	// Interesting effect of constants: RXRX is FO (C1), but
+	// [[RXRX, 0]] requires the homomorphism to respect the final
+	// constant. Rewinding RXRX gives RXRXRX with 0 at the end; a PREFIX
+	// homomorphism would map char(q)'s final 0-junction to a variable
+	// junction — impossible — so D1 fails while D2 holds: NL-complete.
+	q := MustParse("R(w,x) X(x,y) R(y,z) X(z,0)")
+	if D1(q) {
+		t.Error("D1 must fail: the constant pins the end of the query")
+	}
+	if got := Classify(q); got != classify.NL {
+		t.Errorf("Classify = %v, want NL-complete", got)
+	}
+}
+
+// exhaustive ground truth for generalized queries.
+func exhaustiveCertain(db *instance.Instance, q *Query) bool {
+	certain := true
+	repairs.ForEach(db, func(r *instance.Instance) bool {
+		if !q.Satisfies(r) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain
+}
+
+func TestSatisfiesDP(t *testing.T) {
+	db := instance.MustParseFacts("R(a,b) S(b,0) T(0,1) R(1,c)")
+	q := MustParse("R(x,y) S(y,0) T(0,1) R(1,w)")
+	if !q.Satisfies(db) {
+		t.Error("canonical instance must satisfy q")
+	}
+	db2 := instance.MustParseFacts("R(a,b) S(b,9) T(0,1) R(1,c)")
+	if q.Satisfies(db2) {
+		t.Error("wrong constant must not match")
+	}
+}
+
+func TestIsCertainAgainstExhaustive(t *testing.T) {
+	queries := []*Query{
+		MustParse("R(x,y) R(y,0)"),
+		MustParse("R(x,y) R(y,z) X(z,0)"),
+		MustParse("R(x,0)"),
+		MustParse("R(0,x) R(x,y)"),
+		MustParse("R(x,y) X(y,0) R(0,z) X(z,w)"),
+		FromWord(words.MustParse("RRX")),
+	}
+	solve := func(db *instance.Instance, w words.Word) bool {
+		return conp.IsCertain(db, w).Certain
+	}
+	rng := rand.New(rand.NewSource(112))
+	consts := []string{"a", "b", "c", "0", "1"}
+	for it := 0; it < 200; it++ {
+		db := instance.New()
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "X"}[rng.Intn(2)]
+			db.AddFact(rel, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+		}
+		for _, q := range queries {
+			got := IsCertain(db, q, solve)
+			want := exhaustiveCertain(db, q)
+			if got != want {
+				t.Fatalf("it=%d db=%s q=%v: genq=%v exhaustive=%v", it, db, q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b").AddEdge("b", "c").AddVertex("d")
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("counts: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if !g.Reachable("a", "c") || g.Reachable("c", "a") || g.Reachable("a", "d") {
+		t.Error("reachability wrong")
+	}
+	if !g.Reachable("d", "d") {
+		t.Error("vertex reaches itself")
+	}
+	if g.Reachable("zz", "zz") {
+		t.Error("missing vertex is not reachable")
+	}
+	if len(g.Edges()) != 2 || g.Edges()[0] != [2]string{"a", "b"} {
+		t.Errorf("Edges = %v", g.Edges())
+	}
+}
+
+func TestAcyclicity(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b").AddEdge("b", "c")
+	if !g.IsAcyclic() {
+		t.Error("chain is acyclic")
+	}
+	g.AddEdge("c", "a")
+	if g.IsAcyclic() {
+		t.Error("cycle not detected")
+	}
+	self := New()
+	self.AddEdge("x", "x")
+	if self.IsAcyclic() {
+		t.Error("self-loop is a cycle")
+	}
+}
+
+func TestRandomDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		g := RandomDAG(rng, 2+rng.Intn(10), rng.Float64())
+		if !g.IsAcyclic() {
+			t.Fatal("RandomDAG produced a cycle")
+		}
+	}
+}
+
+func TestReachableMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for it := 0; it < 50; it++ {
+		n := 2 + rng.Intn(7)
+		g := New()
+		adj := make([][]bool, n)
+		names := make([]string, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+			names[i] = string(rune('a' + i))
+			g.AddVertex(names[i])
+		}
+		for e := 0; e < 2*n; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b && !adj[a][b] {
+				adj[a][b] = true
+				g.AddEdge(names[a], names[b])
+			}
+		}
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = append([]bool(nil), adj[i]...)
+			reach[i][i] = true
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if g.Reachable(names[i], names[j]) != reach[i][j] {
+					t.Fatalf("it=%d: Reachable(%s,%s) mismatch", it, names[i], names[j])
+				}
+			}
+		}
+	}
+}

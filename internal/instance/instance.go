@@ -1,0 +1,288 @@
+// Package instance implements database instances over binary relations
+// with primary keys on the first position (Section 2 of the paper): facts,
+// key-equal facts, blocks, consistency, repairs, the active domain, and
+// the directed edge-colored graph view of an instance.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fact is a fact R(key, val) of a binary relation R whose first position
+// is the primary key.
+type Fact struct {
+	Rel string // relation name
+	Key string // primary-key constant
+	Val string // non-key constant
+}
+
+// String renders the fact as R(a,b).
+func (f Fact) String() string { return fmt.Sprintf("%s(%s,%s)", f.Rel, f.Key, f.Val) }
+
+// KeyEqual reports whether f and g are key-equal: same relation name and
+// same primary-key value (Section 2).
+func (f Fact) KeyEqual(g Fact) bool { return f.Rel == g.Rel && f.Key == g.Key }
+
+// BlockID identifies a block: the maximal set of key-equal facts with
+// relation name Rel and primary key Key.
+type BlockID struct {
+	Rel string
+	Key string
+}
+
+// String renders the block id as R(a,*).
+func (b BlockID) String() string { return fmt.Sprintf("%s(%s,*)", b.Rel, b.Key) }
+
+// Instance is a finite set of facts. It maintains block and adjacency
+// indexes. The zero value is not ready for use; call New.
+type Instance struct {
+	facts  map[Fact]struct{}
+	blocks map[BlockID][]string // block -> sorted distinct vals
+	adom   map[string]struct{}
+	rels   map[string]struct{}
+}
+
+// New returns an empty instance.
+func New() *Instance {
+	return &Instance{
+		facts:  make(map[Fact]struct{}),
+		blocks: make(map[BlockID][]string),
+		adom:   make(map[string]struct{}),
+		rels:   make(map[string]struct{}),
+	}
+}
+
+// FromFacts returns an instance containing exactly the given facts.
+func FromFacts(facts ...Fact) *Instance {
+	db := New()
+	for _, f := range facts {
+		db.Add(f)
+	}
+	return db
+}
+
+// Add inserts fact f (idempotent). It returns db for chaining.
+func (db *Instance) Add(f Fact) *Instance {
+	if _, ok := db.facts[f]; ok {
+		return db
+	}
+	db.facts[f] = struct{}{}
+	id := BlockID{f.Rel, f.Key}
+	vals := db.blocks[id]
+	pos := sort.SearchStrings(vals, f.Val)
+	vals = append(vals, "")
+	copy(vals[pos+1:], vals[pos:])
+	vals[pos] = f.Val
+	db.blocks[id] = vals
+	db.adom[f.Key] = struct{}{}
+	db.adom[f.Val] = struct{}{}
+	db.rels[f.Rel] = struct{}{}
+	return db
+}
+
+// AddFact inserts R(key, val).
+func (db *Instance) AddFact(rel, key, val string) *Instance {
+	return db.Add(Fact{rel, key, val})
+}
+
+// AddAll inserts all facts of other into db.
+func (db *Instance) AddAll(other *Instance) *Instance {
+	for f := range other.facts {
+		db.Add(f)
+	}
+	return db
+}
+
+// Remove deletes fact f if present.
+func (db *Instance) Remove(f Fact) {
+	if _, ok := db.facts[f]; !ok {
+		return
+	}
+	delete(db.facts, f)
+	id := BlockID{f.Rel, f.Key}
+	vals := db.blocks[id]
+	pos := sort.SearchStrings(vals, f.Val)
+	vals = append(vals[:pos], vals[pos+1:]...)
+	if len(vals) == 0 {
+		delete(db.blocks, id)
+	} else {
+		db.blocks[id] = vals
+	}
+	// adom and rels are rebuilt lazily on demand only for correctness of
+	// Adom(); removal is rare (used by tests), so recompute.
+	db.recomputeDomains()
+}
+
+func (db *Instance) recomputeDomains() {
+	db.adom = make(map[string]struct{})
+	db.rels = make(map[string]struct{})
+	for f := range db.facts {
+		db.adom[f.Key] = struct{}{}
+		db.adom[f.Val] = struct{}{}
+		db.rels[f.Rel] = struct{}{}
+	}
+}
+
+// Contains reports whether f is in db.
+func (db *Instance) Contains(f Fact) bool {
+	_, ok := db.facts[f]
+	return ok
+}
+
+// Size returns the number of facts.
+func (db *Instance) Size() int { return len(db.facts) }
+
+// Facts returns all facts in deterministic (sorted) order.
+func (db *Instance) Facts() []Fact {
+	out := make([]Fact, 0, len(db.facts))
+	for f := range db.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Val < b.Val
+	})
+	return out
+}
+
+// Adom returns the active domain in sorted order.
+func (db *Instance) Adom() []string {
+	out := make([]string, 0, len(db.adom))
+	for c := range db.adom {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InAdom reports whether constant c occurs in db.
+func (db *Instance) InAdom(c string) bool {
+	_, ok := db.adom[c]
+	return ok
+}
+
+// Relations returns the relation names occurring in db, sorted.
+func (db *Instance) Relations() []string {
+	out := make([]string, 0, len(db.rels))
+	for r := range db.rels {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Block returns the non-key values of the block R(key, *), sorted.
+// The returned slice must not be modified.
+func (db *Instance) Block(rel, key string) []string {
+	return db.blocks[BlockID{rel, key}]
+}
+
+// HasBlock reports whether the block R(key,*) is nonempty.
+func (db *Instance) HasBlock(rel, key string) bool {
+	return len(db.blocks[BlockID{rel, key}]) > 0
+}
+
+// Blocks returns all block ids in deterministic order.
+func (db *Instance) Blocks() []BlockID {
+	out := make([]BlockID, 0, len(db.blocks))
+	for id := range db.blocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ConflictingBlocks returns the ids of blocks with more than one fact.
+func (db *Instance) ConflictingBlocks() []BlockID {
+	var out []BlockID
+	for _, id := range db.Blocks() {
+		if len(db.blocks[id]) > 1 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IsConsistent reports whether no block contains more than one fact.
+func (db *Instance) IsConsistent() bool {
+	for _, vals := range db.blocks {
+		if len(vals) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Out returns the successors d with R(c, d) ∈ db, sorted. For a
+// consistent instance this has at most one element per (R, c).
+func (db *Instance) Out(rel, c string) []string { return db.Block(rel, c) }
+
+// Clone returns an independent deep copy of db.
+func (db *Instance) Clone() *Instance {
+	out := New()
+	for f := range db.facts {
+		out.Add(f)
+	}
+	return out
+}
+
+// Equal reports whether db and other contain exactly the same facts.
+func (db *Instance) Equal(other *Instance) bool {
+	if len(db.facts) != len(other.facts) {
+		return false
+	}
+	for f := range db.facts {
+		if !other.Contains(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every fact of db is in other.
+func (db *Instance) SubsetOf(other *Instance) bool {
+	for f := range db.facts {
+		if !other.Contains(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRepairOf reports whether db is a repair of full: a maximal consistent
+// subset. Equivalently: db ⊆ full, db is consistent, and db contains
+// exactly one fact from every block of full.
+func (db *Instance) IsRepairOf(full *Instance) bool {
+	if !db.IsConsistent() || !db.SubsetOf(full) {
+		return false
+	}
+	for _, id := range full.Blocks() {
+		if len(db.Block(id.Rel, id.Key)) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the instance as a sorted fact list.
+func (db *Instance) String() string {
+	facts := db.Facts()
+	parts := make([]string, len(facts))
+	for i, f := range facts {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,103 @@
+package instance
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes db as CSV rows "rel,key,val" in deterministic order.
+func (db *Instance) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, f := range db.Facts() {
+		if err := cw.Write([]string{f.Rel, f.Key, f.Val}); err != nil {
+			return fmt.Errorf("instance: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads an instance from CSV rows "rel,key,val". Blank lines and
+// lines starting with '#' are skipped.
+func ReadCSV(r io.Reader) (*Instance, error) {
+	db := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("instance: line %d: want rel,key,val, got %q", line, text)
+		}
+		rel := strings.TrimSpace(parts[0])
+		key := strings.TrimSpace(parts[1])
+		val := strings.TrimSpace(parts[2])
+		if rel == "" || key == "" || val == "" {
+			return nil, fmt.Errorf("instance: line %d: empty field in %q", line, text)
+		}
+		db.AddFact(rel, key, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("instance: read csv: %w", err)
+	}
+	return db, nil
+}
+
+// ParseFacts parses a compact fact-list syntax used pervasively in tests
+// and examples: facts separated by whitespace or semicolons, each of the
+// form R(a,b). Example: "R(0,1) R(1,2) R(1,3) X(3,4)".
+func ParseFacts(s string) (*Instance, error) {
+	db := New()
+	tokens := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\n' || r == '\t' || r == ';'
+	})
+	for _, tok := range tokens {
+		if tok == "" {
+			continue
+		}
+		open := strings.IndexByte(tok, '(')
+		if open <= 0 || !strings.HasSuffix(tok, ")") {
+			return nil, fmt.Errorf("instance: bad fact %q", tok)
+		}
+		rel := tok[:open]
+		inner := tok[open+1 : len(tok)-1]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("instance: bad fact %q", tok)
+		}
+		db.AddFact(rel, parts[0], parts[1])
+	}
+	return db, nil
+}
+
+// MustParseFacts is ParseFacts that panics on error.
+func MustParseFacts(s string) *Instance {
+	db, err := ParseFacts(s)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// DOT renders the instance as a Graphviz digraph: a fact R(a,b) is an
+// edge a -> b labeled R. Facts in conflicting blocks are drawn dashed.
+func (db *Instance) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph db {\n  rankdir=LR;\n")
+	for _, f := range db.Facts() {
+		style := ""
+		if len(db.Block(f.Rel, f.Key)) > 1 {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", f.Key, f.Val, f.Rel, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package instance
+
+import "cqa/internal/words"
+
+// A path in db (Definition 6 of the paper) is a sequence of facts
+// R1(c1,c2), R2(c2,c3), ..., Rn(cn,cn+1); its trace is the word R1...Rn.
+// Facts may repeat along a path (paths are walks in the graph view).
+
+// StartsOfTrace returns the set of constants c such that db has a path
+// starting in c with trace w. Computed by dynamic programming from the
+// end of the trace; O(|w|·|db|).
+func (db *Instance) StartsOfTrace(w words.Word) map[string]bool {
+	// cur = set of constants from which the suffix w[i:] can be traced.
+	cur := make(map[string]bool, len(db.adom))
+	for c := range db.adom {
+		cur[c] = true
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		next := make(map[string]bool)
+		rel := w[i]
+		for id, vals := range db.blocks {
+			if id.Rel != rel {
+				continue
+			}
+			for _, v := range vals {
+				if cur[v] {
+					next[id.Key] = true
+					break
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// HasTraceFrom reports whether db has a path starting in c with trace w.
+func (db *Instance) HasTraceFrom(c string, w words.Word) bool {
+	return db.StartsOfTrace(w)[c]
+}
+
+// Satisfies reports whether the path query with word w is satisfied by
+// db, i.e. whether db has a path with trace w starting anywhere. For a
+// repair r this is exactly "r satisfies q".
+func (db *Instance) Satisfies(w words.Word) bool {
+	if len(w) == 0 {
+		return true
+	}
+	return len(db.StartsOfTrace(w)) > 0
+}
+
+// FindWalk returns one path (fact sequence) with trace w starting at c,
+// or nil if none exists.
+func (db *Instance) FindWalk(c string, w words.Word) []Fact {
+	// Precompute suffix-feasible sets to prune.
+	feasible := make([]map[string]bool, len(w)+1)
+	feasible[len(w)] = make(map[string]bool, len(db.adom))
+	for x := range db.adom {
+		feasible[len(w)][x] = true
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		next := make(map[string]bool)
+		for id, vals := range db.blocks {
+			if id.Rel != w[i] {
+				continue
+			}
+			for _, v := range vals {
+				if feasible[i+1][v] {
+					next[id.Key] = true
+					break
+				}
+			}
+		}
+		feasible[i] = next
+	}
+	if len(w) > 0 && !feasible[0][c] {
+		return nil
+	}
+	walk := make([]Fact, 0, len(w))
+	cur := c
+	for i, rel := range w {
+		found := false
+		for _, v := range db.Block(rel, cur) {
+			if feasible[i+1][v] {
+				walk = append(walk, Fact{rel, cur, v})
+				cur = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return walk
+}
+
+// ConsistentWalkFrom reports whether db has a *consistent* path starting
+// in c with trace w (Definition 15: a path that does not contain two
+// distinct key-equal facts). Backtracking search; the trace is a query
+// word, so it is short.
+func (db *Instance) ConsistentWalkFrom(c string, w words.Word) []Fact {
+	chosen := make(map[BlockID]string)
+	walk := make([]Fact, 0, len(w))
+	var rec func(cur string, i int) bool
+	rec = func(cur string, i int) bool {
+		if i == len(w) {
+			return true
+		}
+		rel := w[i]
+		id := BlockID{rel, cur}
+		if v, ok := chosen[id]; ok {
+			// The block is already committed on this path: follow it.
+			walk = append(walk, Fact{rel, cur, v})
+			if rec(v, i+1) {
+				return true
+			}
+			walk = walk[:len(walk)-1]
+			return false
+		}
+		for _, v := range db.Block(rel, cur) {
+			chosen[id] = v
+			walk = append(walk, Fact{rel, cur, v})
+			if rec(v, i+1) {
+				return true
+			}
+			walk = walk[:len(walk)-1]
+			delete(chosen, id)
+		}
+		return false
+	}
+	if rec(c, 0) {
+		return walk
+	}
+	return nil
+}
+
+// HasConsistentWalk reports whether db |= c --w-->-> d for some d, i.e.
+// a consistent path with trace w starts in c.
+func (db *Instance) HasConsistentWalk(c string, w words.Word) bool {
+	return db.ConsistentWalkFrom(c, w) != nil
+}
+
+// ConsistentWalkBetween reports whether db |= a --w-->-> b: a consistent
+// path with trace w from a to b.
+func (db *Instance) ConsistentWalkBetween(a, b string, w words.Word) bool {
+	chosen := make(map[BlockID]string)
+	var rec func(cur string, i int) bool
+	rec = func(cur string, i int) bool {
+		if i == len(w) {
+			return cur == b
+		}
+		rel := w[i]
+		id := BlockID{rel, cur}
+		if v, ok := chosen[id]; ok {
+			return rec(v, i+1)
+		}
+		for _, v := range db.Block(rel, cur) {
+			chosen[id] = v
+			if rec(v, i+1) {
+				return true
+			}
+			delete(chosen, id)
+		}
+		return false
+	}
+	return rec(a, 0)
+}
+
+// WalkEnds returns the set of constants d such that db has a (not
+// necessarily consistent) path from c to d with trace w.
+func (db *Instance) WalkEnds(c string, w words.Word) map[string]bool {
+	cur := map[string]bool{c: true}
+	for _, rel := range w {
+		next := make(map[string]bool)
+		for x := range cur {
+			for _, v := range db.Block(rel, x) {
+				next[v] = true
+			}
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,194 @@
+package nl
+
+import (
+	"fmt"
+	"strings"
+
+	"cqa/internal/datalog"
+	"cqa/internal/instance"
+	"cqa/internal/words"
+)
+
+// This file emits the linear Datalog programs with stratified negation of
+// Claim 5 (Section 6.3): for a certified decomposition q = pre (loop)*
+// exit with a "flat" exit (the exit's certain language is the exit word
+// itself — always the case for B2b, where the exit is self-join-free),
+// the predicate O and the answer predicate are expressible in linear
+// Datalog. The generated program mirrors the paper's example program for
+// q = UVUVWV: terminal tests are the stratified-negation encoding of the
+// Lemma 12 first-order rewriting, the loop reachability is a linear
+// transitive closure guarded by exit-terminal vertices, and consistency
+// of the pre-path is enforced with the paper's consistent/4 predicate.
+
+// relPred mangles a relation name into a Datalog predicate name.
+func relPred(rel string) string { return "rel_" + strings.ToLower(rel) }
+
+// GenerateProgram emits the Claim 5 Datalog program for the
+// decomposition. It returns an error when the decomposition's exit
+// language is not flat (B2a exits with an inner loop need the fixpoint
+// sub-solver, which plain Datalog does not express).
+func GenerateProgram(d *Decomposition) (datalog.Program, error) {
+	var b strings.Builder
+
+	// Terminal-test subprograms.
+	emitTerminal(&b, "pre", d.Pre)
+	whole := words.Concat(d.Pre, d.Exit)
+	if d.Loop.IsEmpty() {
+		// Degenerate: O(c) = c terminal for the whole word.
+		emitTerminal(&b, "whole", whole)
+		fmt.Fprintf(&b, "o(X) :- terminal_whole(X).\n")
+		fmt.Fprintf(&b, "yes :- c(X), not o(X).\n")
+		return datalog.Parse(b.String())
+	}
+	if !flatExit(d) {
+		return datalog.Program{}, fmt.Errorf("nl: exit language %s is not flat; no Datalog program emitted", d.ExitRegex)
+	}
+	emitTerminal(&b, "loop", d.Loop)
+
+	// consistent/4: X1 != X3 or X2 = X4 (paper's predicate).
+	b.WriteString("consistent(A,B,C,D) :- c(A), c(B), c(C), c(D), A != C.\n")
+	b.WriteString("consistent(A,B,C,D) :- c(A), c(B), c(C), c(D), B = D.\n")
+
+	// avoid(X): X can avoid the exit, i.e. X is terminal for the exit
+	// word (flat exits only). An empty exit cannot be avoided, so avoid
+	// stays an empty relation in that case.
+	if !d.Exit.IsEmpty() {
+		emitTerminal(&b, "exit", d.Exit)
+		b.WriteString("avoid(X) :- terminal_exit(X).\n")
+	}
+
+	// Loop step edges restricted to avoiding vertices.
+	emitChainRule(&b, "step", d.Loop, []string{"avoid(X0)", avoidAtEnd(d.Loop)})
+	b.WriteString("reachp(X,Y) :- step(X,Y).\n")
+	b.WriteString("reachp(X,Z) :- reachp(X,Y), step(Y,Z).\n")
+
+	// Targets and P.
+	b.WriteString("target(X) :- avoid(X), terminal_loop(X).\n")
+	b.WriteString("target(X) :- reachp(X,X).\n")
+	b.WriteString("p(X) :- target(X).\n")
+	b.WriteString("p(X) :- reachp(X,Y), target(Y).\n")
+
+	// O via consistent pre-paths.
+	b.WriteString("o(X) :- terminal_pre(X).\n")
+	if d.Pre.IsEmpty() {
+		b.WriteString("o(X) :- c(X), p(X).\n")
+	} else {
+		emitPrePath(&b, d.Pre)
+		b.WriteString("o(X) :- prepath(X,Y), p(Y).\n")
+	}
+	b.WriteString("yes :- c(X), not o(X).\n")
+	return datalog.Parse(b.String())
+}
+
+// flatExit reports whether the decomposition's exit certain language is
+// the exit word itself.
+func flatExit(d *Decomposition) bool {
+	switch d.Form {
+	case "B2b", "sjf", "exact":
+		return true
+	case "B2a":
+		// Flat iff the certified exit regex is a plain literal.
+		s := d.ExitRegex.String()
+		return !strings.Contains(s, "*")
+	}
+	return false
+}
+
+func avoidAtEnd(loop words.Word) string {
+	return fmt.Sprintf("avoid(X%d)", loop.Len())
+}
+
+// emitTerminal writes the stratified-negation encoding of the Lemma 12
+// rewriting for word w and the derived terminal predicate:
+//
+//	cert_<tag>_n(X) :- c(X).
+//	bad_<tag>_i(X)  :- rel_i(X,Y), not cert_<tag>_{i+1}(Y).
+//	cert_<tag>_i(X) :- rel_i(X,Y), not bad_<tag>_i(X).
+//	terminal_<tag>(X) :- c(X), not cert_<tag>_0(X).
+func emitTerminal(b *strings.Builder, tag string, w words.Word) {
+	n := w.Len()
+	fmt.Fprintf(b, "cert_%s_%d(X) :- c(X).\n", tag, n)
+	for i := n - 1; i >= 0; i-- {
+		rp := relPred(w[i])
+		fmt.Fprintf(b, "bad_%s_%d(X) :- %s(X,Y), not cert_%s_%d(Y).\n", tag, i, rp, tag, i+1)
+		fmt.Fprintf(b, "cert_%s_%d(X) :- %s(X,Y), not bad_%s_%d(X).\n", tag, i, rp, tag, i)
+	}
+	fmt.Fprintf(b, "terminal_%s(X) :- c(X), not cert_%s_0(X).\n", tag, tag)
+}
+
+// emitChainRule writes: head(X0,Xn) :- rel_0(X0,X1), ..., rel_{n-1}(X_{n-1},Xn),
+// extra..., plus pairwise consistency guards between same-relation atoms.
+func emitChainRule(b *strings.Builder, head string, w words.Word, extra []string) {
+	n := w.Len()
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, fmt.Sprintf("%s(X%d,X%d)", relPred(w[i]), i, i+1))
+	}
+	parts = append(parts, consistencyGuards(w, 0)...)
+	parts = append(parts, extra...)
+	fmt.Fprintf(b, "%s(X0,X%d) :- %s.\n", head, n, strings.Join(parts, ", "))
+}
+
+// emitPrePath writes prepath(X0,Xn) with consistency guards, mirroring
+// the paper's expansion of the consistent path c --pre-->-> d.
+func emitPrePath(b *strings.Builder, pre words.Word) {
+	n := pre.Len()
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, fmt.Sprintf("%s(X%d,X%d)", relPred(pre[i]), i, i+1))
+	}
+	parts = append(parts, consistencyGuards(pre, 0)...)
+	fmt.Fprintf(b, "prepath(X0,X%d) :- %s.\n", n, strings.Join(parts, ", "))
+}
+
+// consistencyGuards returns consistent(Xi,Xi+1,Xj,Xj+1) literals for all
+// pairs i < j of positions carrying the same relation name.
+func consistencyGuards(w words.Word, offset int) []string {
+	var out []string
+	for i := 0; i < w.Len(); i++ {
+		for j := i + 1; j < w.Len(); j++ {
+			if w[i] != w[j] {
+				continue
+			}
+			out = append(out, fmt.Sprintf("consistent(X%d,X%d,X%d,X%d)",
+				offset+i, offset+i+1, offset+j, offset+j+1))
+		}
+	}
+	return out
+}
+
+// BuildEDB converts an instance into the extensional database expected
+// by the generated programs: rel_<r>(key, val) facts plus c(X) for every
+// constant of the active domain.
+func BuildEDB(db *instance.Instance) *datalog.Database {
+	edb := datalog.NewDatabase()
+	for _, f := range db.Facts() {
+		edb.Add(relPred(f.Rel), f.Key, f.Val)
+	}
+	for _, c := range db.Adom() {
+		edb.Add("c", c)
+	}
+	return edb
+}
+
+// IsCertainDatalog decides CERTAINTY(q) by generating and evaluating the
+// Claim 5 Datalog program. It errors when q has no certified flat-exit
+// decomposition.
+func IsCertainDatalog(db *instance.Instance, q words.Word) (bool, datalog.Program, error) {
+	if len(q) == 0 {
+		return true, datalog.Program{}, nil
+	}
+	d, err := Decompose(q)
+	if err != nil {
+		return false, datalog.Program{}, err
+	}
+	prog, err := GenerateProgram(d)
+	if err != nil {
+		return false, datalog.Program{}, err
+	}
+	out, err := prog.Eval(BuildEDB(db))
+	if err != nil {
+		return false, prog, fmt.Errorf("nl: evaluating generated program: %w", err)
+	}
+	return out.Contains("yes"), prog, nil
+}

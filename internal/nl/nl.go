@@ -1,0 +1,425 @@
+// Package nl implements the NL solver tier of Section 6.3 of the paper:
+// for path queries q satisfying condition C2, CERTAINTY(q) is decided by
+// the predicates P and O of Lemma 14 (Claims 2–4), computed here with
+// reachability over loop-step graphs, with first-order terminal tests
+// (Lemma 17 via Lemma 12) at the leaves. The same procedure is also
+// emitted as a linear Datalog program with stratified negation (Claim 5)
+// runnable on internal/datalog.
+//
+// A C2 query decomposes (Lemma 3: C2 = B2a ∪ B2b) as
+//
+//	q = pre · loop^* · exit        (as a language claim, Lemma 16):
+//
+// L(NFAmin(q)) = pre (loop)* exitLang, where pre is the pre-loop part of
+// q (a suffix of loop powers), loop = uv (B2b) or u (B2a), and exitLang
+// is the certain language of the exit word (for B2b a single
+// self-join-free word w·t; for B2a itself of the form mid (v)^a (v)* tail).
+// Every decomposition is CERTIFIED at solve time by DFA equivalence
+// against NFAmin(q); uncertifiable corner cases report an error and the
+// caller falls back to the (always-correct for C3 ⊇ C2) fixpoint tier.
+package nl
+
+import (
+	"errors"
+	"fmt"
+
+	"cqa/internal/automata"
+	"cqa/internal/classify"
+	"cqa/internal/fixpoint"
+	"cqa/internal/fo"
+	"cqa/internal/instance"
+	"cqa/internal/regex"
+	"cqa/internal/words"
+)
+
+// ErrNotC2 is returned when q does not satisfy condition C2.
+var ErrNotC2 = errors.New("nl: query does not satisfy C2")
+
+// ErrNoCertifiedDecomposition is returned when no decomposition passes
+// the DFA-equivalence certificate; callers should fall back to the
+// fixpoint tier.
+var ErrNoCertifiedDecomposition = errors.New("nl: no certified loop decomposition found")
+
+// Decomposition is a certified loop decomposition of a C2 query.
+type Decomposition struct {
+	Form string // "sjf", "B2b" or "B2a"
+	// Pre is the part of q before the loop region boundary.
+	Pre words.Word
+	// Loop is the pumpable word: uv for B2b, u for B2a. Empty for sjf.
+	Loop words.Word
+	// Exit is the part of q after the loop region. For B2b it is
+	// self-join-free; for B2a it may itself contain the v-loop and is
+	// handled by the fixpoint sub-solver.
+	Exit words.Word
+	// ExitRegex is the certain language of Exit (as a regex).
+	ExitRegex regex.Expr
+	// Language is the full certified regex pre (loop)* exitLang.
+	Language regex.Expr
+}
+
+// String renders the decomposition.
+func (d *Decomposition) String() string {
+	return fmt.Sprintf("%s: pre=%v loop=%v exit=%v language=%s", d.Form, d.Pre, d.Loop, d.Exit, d.Language)
+}
+
+// Decompose finds and certifies a loop decomposition for a C2 query.
+func Decompose(q words.Word) (*Decomposition, error) {
+	if ok, _ := classify.C2(q); !ok {
+		return nil, ErrNotC2
+	}
+	if q.IsSelfJoinFree() {
+		d := &Decomposition{
+			Form:      "sjf",
+			Pre:       q.Clone(),
+			Loop:      words.Word{},
+			Exit:      words.Word{},
+			ExitRegex: regex.Eps{},
+			Language:  regex.Literal(q),
+		}
+		return d, nil
+	}
+	var candidates []*Decomposition
+	if w := classify.FindB2b(q); w != nil {
+		candidates = append(candidates, decomposeB2b(q, w)...)
+	}
+	if w := classify.FindB2a(q); w != nil {
+		candidates = append(candidates, decomposeB2a(q, w)...)
+	}
+	// Degenerate case: the minimal language collapses to {q} when every
+	// pumped word has q as a proper prefix (e.g. q = RR, q = YXYXY).
+	// The avoidance predicate is then handled by the whole-word
+	// sub-solver (see ComputeO), which is still an NL computation.
+	candidates = append(candidates, &Decomposition{
+		Form: "exact", Pre: q.Clone(), Loop: words.Word{}, Exit: words.Word{},
+		ExitRegex: regex.Eps{}, Language: regex.Literal(q),
+	})
+	min := automata.New(q).MinPrefixDFA()
+	for _, d := range candidates {
+		if regex.ToDFA(d.Language).Equal(min) {
+			return d, nil
+		}
+	}
+	return nil, ErrNoCertifiedDecomposition
+}
+
+// decomposeB2b slices q inside the pumped word (uv)^k·w·v. The exit is
+// self-join-free (a factor of w·v), so its certain language is itself.
+func decomposeB2b(q words.Word, w *classify.BWitness) []*Decomposition {
+	loop := words.Concat(w.U, w.V)
+	if loop.IsEmpty() {
+		return nil
+	}
+	p := w.Pumped
+	off := w.Offset
+	n := len(q)
+	loopRegion := w.K * len(loop)
+	b := clamp(loopRegion, off, off+n)
+	pre := p.Factor(off, b)
+	exit := p.Factor(b, off+n)
+	return []*Decomposition{{
+		Form:      "B2b",
+		Pre:       pre.Clone(),
+		Loop:      loop,
+		Exit:      exit.Clone(),
+		ExitRegex: regex.Literal(exit),
+		Language:  regex.Seq(regex.Literal(pre), regex.Star{Body: regex.Literal(loop)}, regex.Literal(exit)),
+	}}
+}
+
+// decomposeB2a slices q inside the pumped word (u)^j·w·(v)^k. The exit
+// part may contain the v-loop; candidate certain languages for the exit
+// are mid (v)^a (v)* tail and the degenerate Literal(exit), whichever is
+// certified against NFAmin(exit).
+func decomposeB2a(q words.Word, w *classify.BWitness) []*Decomposition {
+	p := w.Pumped
+	off := w.Offset
+	n := len(q)
+	uRegion := w.J * len(w.U)
+	b1 := clamp(uRegion, off, off+n)
+	pre := p.Factor(off, b1)
+	exit := p.Factor(b1, off+n)
+
+	// Candidate certain languages for the exit word.
+	var exitCandidates []regex.Expr
+	if len(exit) == 0 {
+		exitCandidates = append(exitCandidates, regex.Eps{})
+	} else {
+		wEnd := clamp(uRegion+len(w.W), b1, off+n)
+		mid := p.Factor(b1, wEnd)
+		vpart := p.Factor(wEnd, off+n)
+		if len(w.V) > 0 {
+			a := len(vpart) / len(w.V)
+			tail := vpart.Suffix(a * len(w.V))
+			exitCandidates = append(exitCandidates,
+				regex.Seq(regex.Literal(mid), regex.Power(regex.Literal(w.V), a),
+					regex.Star{Body: regex.Literal(w.V)}, regex.Literal(tail)))
+		}
+		exitCandidates = append(exitCandidates, regex.Literal(exit))
+	}
+	// The exit language used must be exactly L(NFAmin(exit)): the
+	// avoidance sub-solver computes avoidance of that language
+	// (Lemma 15 makes avoidance of L↬(exit) and of the minimal
+	// language coincide).
+	var exitRe regex.Expr
+	if len(exit) == 0 {
+		exitRe = regex.Eps{}
+	} else {
+		minExit := automata.New(exit).MinPrefixDFA()
+		for _, cand := range exitCandidates {
+			if regex.ToDFA(cand).Equal(minExit) {
+				exitRe = cand
+				break
+			}
+		}
+		if exitRe == nil {
+			return nil
+		}
+	}
+
+	loop := w.U.Clone()
+	if loop.IsEmpty() {
+		// No u-loop: the whole query lives in w·(v)^k.
+		return []*Decomposition{{
+			Form: "B2a", Pre: words.Word{}, Loop: words.Word{},
+			Exit: exit.Clone(), ExitRegex: exitRe, Language: exitRe,
+		}}
+	}
+	return []*Decomposition{{
+		Form:      "B2a",
+		Pre:       pre.Clone(),
+		Loop:      loop,
+		Exit:      exit.Clone(),
+		ExitRegex: exitRe,
+		Language:  regex.Seq(regex.Literal(pre), regex.Star{Body: regex.Literal(loop)}, exitRe),
+	}}
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// IsCertain decides CERTAINTY(q) for a C2 query via the Lemma 14
+// procedure. It returns the decomposition used. An error means no
+// certified decomposition was found (fall back to the fixpoint tier).
+func IsCertain(db *instance.Instance, q words.Word) (bool, *Decomposition, error) {
+	d, err := Decompose(q)
+	if err != nil {
+		return false, nil, err
+	}
+	return certainWith(db, q, d), d, nil
+}
+
+// certainWith evaluates "∃c ∈ adom(db): ¬O(c)" for the decomposition.
+func certainWith(db *instance.Instance, q words.Word, d *Decomposition) bool {
+	if len(q) == 0 {
+		return true
+	}
+	o := ComputeO(db, d)
+	for _, c := range db.Adom() {
+		if !o[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeO computes the predicate O of Lemma 14 for every constant:
+// db ⊨ O(c) iff some repair of db contains no path starting at c whose
+// trace is in the certified language pre (loop)* exitLang (Claim 4).
+func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
+	adom := db.Adom()
+	o := make(map[string]bool, len(adom))
+
+	if d.Loop.IsEmpty() {
+		// Pure word (sjf or loop-free exit): O(c) = c terminal for the
+		// whole word, equivalently ¬(every repair has an accepted path
+		// from c), computed by the fixpoint sub-solver on the word.
+		whole := words.Concat(d.Pre, d.Exit)
+		res := fixpoint.Solve(db, whole)
+		for _, c := range adom {
+			o[c] = !res.Has(c, 0)
+		}
+		return o
+	}
+
+	avoid := avoidExit(db, d)
+	// terminal-for-loop vertices (condition (iii)); loop is
+	// self-join-free, so the Lemma 12 DP is exact.
+	loopTerminal := fo.TerminalSet(db, d.Loop)
+
+	// Loop-step graph restricted to exit-avoiding vertices (condition
+	// (ii) of the definition of P).
+	targets := make(map[string]bool)
+	adj := make(map[string][]string)
+	for _, c := range adom {
+		if !avoid[c] {
+			continue
+		}
+		if loopTerminal[c] {
+			targets[c] = true
+		}
+		for e := range db.WalkEnds(c, d.Loop) {
+			if avoid[e] {
+				adj[c] = append(adj[c], e)
+			}
+		}
+	}
+	// Vertices on cycles of the restricted graph are also targets
+	// (condition (iii), dℓ ∈ {d0..dℓ-1}).
+	for _, c := range cycleVertices(adj) {
+		targets[c] = true
+	}
+	// P(d): d avoids the exit and reaches a target in the restricted
+	// graph (including d itself being a target).
+	p := make(map[string]bool)
+	for c := range targets {
+		p[c] = true
+	}
+	// Reverse reachability from targets.
+	rev := make(map[string][]string)
+	for a, bs := range adj {
+		for _, b := range bs {
+			rev[b] = append(rev[b], a)
+		}
+	}
+	queue := make([]string, 0, len(targets))
+	for c := range targets {
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, a := range rev[c] {
+			if !p[a] {
+				p[a] = true
+				queue = append(queue, a)
+			}
+		}
+	}
+
+	// O(c) = c terminal for pre, or some consistent pre-path from c
+	// ends in a vertex satisfying P.
+	preTerminal := fo.TerminalSet(db, d.Pre)
+	for _, c := range adom {
+		if preTerminal[c] {
+			o[c] = true
+			continue
+		}
+		for e := range consistentEnds(db, c, d.Pre) {
+			if p[e] {
+				o[c] = true
+				break
+			}
+		}
+	}
+	return o
+}
+
+// avoidExit computes, per constant d, whether some repair has no path
+// from d whose trace is in the certain language of the exit word. By
+// Corollary 1 (via the ⪯q-minimal repair of Lemma 6, which minimizes
+// start sets for all constants simultaneously), this is the complement
+// of the fixpoint relation ⟨d, ε⟩ for the exit word. An empty exit
+// cannot be avoided.
+func avoidExit(db *instance.Instance, d *Decomposition) map[string]bool {
+	out := make(map[string]bool)
+	if d.Exit.IsEmpty() {
+		return out
+	}
+	res := fixpoint.Solve(db, d.Exit)
+	for _, c := range db.Adom() {
+		out[c] = !res.Has(c, 0)
+	}
+	return out
+}
+
+// cycleVertices returns the vertices lying on a directed cycle of the
+// graph (self-loops included): members of nontrivial SCCs.
+func cycleVertices(adj map[string][]string) []string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var out []string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				out = append(out, scc...)
+				return
+			}
+			// Self-loop?
+			for _, w := range adj[scc[0]] {
+				if w == scc[0] {
+					out = append(out, scc[0])
+					break
+				}
+			}
+		}
+	}
+	for v := range adj {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// consistentEnds returns the endpoints of consistent paths with trace w
+// starting at c (Definition 15's db |= c -w->-> d).
+func consistentEnds(db *instance.Instance, c string, w words.Word) map[string]bool {
+	out := make(map[string]bool)
+	chosen := make(map[instance.BlockID]string)
+	var rec func(cur string, i int)
+	rec = func(cur string, i int) {
+		if i == len(w) {
+			out[cur] = true
+			return
+		}
+		rel := w[i]
+		id := instance.BlockID{Rel: rel, Key: cur}
+		if v, ok := chosen[id]; ok {
+			rec(v, i+1)
+			return
+		}
+		for _, v := range db.Block(rel, cur) {
+			chosen[id] = v
+			rec(v, i+1)
+			delete(chosen, id)
+		}
+	}
+	rec(c, 0)
+	return out
+}

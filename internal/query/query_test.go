@@ -1,0 +1,57 @@
+package query
+
+import (
+	"testing"
+
+	"cqa/internal/words"
+)
+
+func TestParseAndAccessors(t *testing.T) {
+	q := MustParse("RRX")
+	if q.Len() != 3 || q.IsEmpty() || q.Rel(2) != "X" {
+		t.Fatalf("accessors wrong: %v", q)
+	}
+	if !q.HasSelfJoin() || MustParse("RXY").HasSelfJoin() {
+		t.Error("self-join detection wrong")
+	}
+	if got := q.Relations(); len(got) != 2 || got[0] != "R" || got[1] != "X" {
+		t.Errorf("Relations = %v", got)
+	}
+	if _, err := Parse("rx"); err == nil {
+		t.Error("lowercase compact word must fail")
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	q := MustParse("RRX")
+	if q.String() != "RRX" {
+		t.Errorf("String = %s", q.String())
+	}
+	if got := q.Atoms(); got != "R(x1,x2), R(x2,x3), X(x3,x4)" {
+		t.Errorf("Atoms = %s", got)
+	}
+	want := "∃x1∃x2∃x3∃x4(R(x1,x2) ∧ R(x2,x3) ∧ X(x3,x4))"
+	if got := q.Sentence(); got != want {
+		t.Errorf("Sentence = %s", got)
+	}
+	empty := New(words.Word{})
+	if empty.Atoms() != "⊤" || empty.Sentence() != "true" {
+		t.Error("empty renderings wrong")
+	}
+}
+
+func TestPrefixSuffixEqual(t *testing.T) {
+	q := MustParse("RRX")
+	if !q.Prefix(2).Equal(MustParse("RR")) || !q.Suffix(1).Equal(MustParse("RX")) {
+		t.Error("prefix/suffix wrong")
+	}
+	if q.Equal(MustParse("RR")) {
+		t.Error("Equal wrong")
+	}
+	// Word() returns a copy.
+	w := q.Word()
+	w[0] = "Z"
+	if q.Rel(0) != "R" {
+		t.Error("Word must copy")
+	}
+}

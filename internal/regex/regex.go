@@ -1,0 +1,286 @@
+// Package regex implements the small regular-expression calculus needed
+// for the B-form characterizations of Section 4 and for Lemma 16: regexes
+// over relation-name symbols built from concatenation, union and Kleene
+// star, compiled to DFAs (via a Thompson construction and subset
+// construction) so that language identities claimed in the paper can be
+// machine-checked with DFA equivalence.
+package regex
+
+import (
+	"sort"
+	"strings"
+
+	"cqa/internal/automata"
+	"cqa/internal/words"
+)
+
+// Expr is a regular expression over relation-name symbols.
+type Expr interface {
+	String() string
+	symbols(map[string]bool)
+	// compile adds states/transitions to b and returns (start, accept).
+	compile(b *builder) (int, int)
+}
+
+// Eps is the regex matching only the empty word.
+type Eps struct{}
+
+// Sym matches a single symbol.
+type Sym struct{ Name string }
+
+// Concat matches the concatenation of its parts.
+type Concat struct{ Parts []Expr }
+
+// Union matches the union of its alternatives.
+type Union struct{ Alts []Expr }
+
+// Star is the Kleene closure of its body.
+type Star struct{ Body Expr }
+
+// Literal returns the concatenation of the symbols of w.
+func Literal(w words.Word) Expr {
+	parts := make([]Expr, len(w))
+	for i, s := range w {
+		parts[i] = Sym{s}
+	}
+	return Concat{parts}
+}
+
+// Seq concatenates expressions, flattening trivial cases.
+func Seq(parts ...Expr) Expr { return Concat{parts} }
+
+// Power returns e repeated exactly k times.
+func Power(e Expr, k int) Expr {
+	parts := make([]Expr, k)
+	for i := range parts {
+		parts[i] = e
+	}
+	return Concat{parts}
+}
+
+func (Eps) String() string   { return "ε" }
+func (s Sym) String() string { return s.Name }
+func (c Concat) String() string {
+	if len(c.Parts) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for _, p := range c.Parts {
+		if _, ok := p.(Union); ok {
+			b.WriteString("(" + p.String() + ")")
+		} else {
+			b.WriteString(p.String())
+		}
+	}
+	return b.String()
+}
+func (u Union) String() string {
+	parts := make([]string, len(u.Alts))
+	for i, a := range u.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "|")
+}
+func (s Star) String() string {
+	body := s.Body.String()
+	if len(body) > 1 {
+		body = "(" + body + ")"
+	}
+	return body + "*"
+}
+
+func (Eps) symbols(map[string]bool)     {}
+func (s Sym) symbols(m map[string]bool) { m[s.Name] = true }
+func (c Concat) symbols(m map[string]bool) {
+	for _, p := range c.Parts {
+		p.symbols(m)
+	}
+}
+func (u Union) symbols(m map[string]bool) {
+	for _, a := range u.Alts {
+		a.symbols(m)
+	}
+}
+func (s Star) symbols(m map[string]bool) { s.Body.symbols(m) }
+
+// Symbols returns the sorted alphabet of e.
+func Symbols(e Expr) []string {
+	m := map[string]bool{}
+	e.symbols(m)
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// builder accumulates a Thompson NFA.
+type builder struct {
+	eps   [][]int
+	trans []map[string][]int
+}
+
+func (b *builder) newState() int {
+	b.eps = append(b.eps, nil)
+	b.trans = append(b.trans, nil)
+	return len(b.eps) - 1
+}
+
+func (b *builder) epsEdge(from, to int) { b.eps[from] = append(b.eps[from], to) }
+
+func (b *builder) symEdge(from int, sym string, to int) {
+	if b.trans[from] == nil {
+		b.trans[from] = map[string][]int{}
+	}
+	b.trans[from][sym] = append(b.trans[from][sym], to)
+}
+
+func (Eps) compile(b *builder) (int, int) {
+	s := b.newState()
+	t := b.newState()
+	b.epsEdge(s, t)
+	return s, t
+}
+
+func (x Sym) compile(b *builder) (int, int) {
+	s := b.newState()
+	t := b.newState()
+	b.symEdge(s, x.Name, t)
+	return s, t
+}
+
+func (c Concat) compile(b *builder) (int, int) {
+	if len(c.Parts) == 0 {
+		return Eps{}.compile(b)
+	}
+	s, t := c.Parts[0].compile(b)
+	for _, p := range c.Parts[1:] {
+		ps, pt := p.compile(b)
+		b.epsEdge(t, ps)
+		t = pt
+	}
+	return s, t
+}
+
+func (u Union) compile(b *builder) (int, int) {
+	s := b.newState()
+	t := b.newState()
+	if len(u.Alts) == 0 {
+		return s, t // empty language
+	}
+	for _, a := range u.Alts {
+		as, at := a.compile(b)
+		b.epsEdge(s, as)
+		b.epsEdge(at, t)
+	}
+	return s, t
+}
+
+func (x Star) compile(b *builder) (int, int) {
+	s := b.newState()
+	t := b.newState()
+	bs, bt := x.Body.compile(b)
+	b.epsEdge(s, bs)
+	b.epsEdge(s, t)
+	b.epsEdge(bt, bs)
+	b.epsEdge(bt, t)
+	return s, t
+}
+
+// ToDFA compiles e to a DFA via Thompson + subset construction.
+func ToDFA(e Expr) *automata.DFA {
+	b := &builder{}
+	start, accept := e.compile(b)
+	alphabet := Symbols(e)
+
+	closure := func(set map[int]bool) {
+		stack := make([]int, 0, len(set))
+		for s := range set {
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range b.eps[s] {
+				if !set[t] {
+					set[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, id := range ids {
+			sb.WriteString(itoa(id))
+			sb.WriteByte(',')
+		}
+		return sb.String()
+	}
+
+	d := &automata.DFA{Alphabet: alphabet}
+	index := map[string]int{}
+	var sets []map[int]bool
+	add := func(set map[int]bool) int {
+		k := key(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(sets)
+		index[k] = id
+		sets = append(sets, set)
+		d.Trans = append(d.Trans, map[string]int{})
+		d.Accept = append(d.Accept, set[accept])
+		return id
+	}
+	init := map[int]bool{start: true}
+	closure(init)
+	d.Start = add(init)
+	for work := []int{d.Start}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		set := sets[id]
+		for _, sym := range alphabet {
+			next := map[int]bool{}
+			for s := range set {
+				for _, t := range b.trans[s][sym] {
+					next[t] = true
+				}
+			}
+			if len(next) == 0 {
+				continue
+			}
+			closure(next)
+			before := len(sets)
+			nid := add(next)
+			d.Trans[id][sym] = nid
+			if nid == before {
+				work = append(work, nid)
+			}
+		}
+	}
+	return d
+}
+
+// Matches reports whether e matches w.
+func Matches(e Expr, w words.Word) bool { return ToDFA(e).AcceptsWord(w) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

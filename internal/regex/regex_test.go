@@ -1,0 +1,120 @@
+package regex
+
+import (
+	"testing"
+
+	"cqa/internal/automata"
+	"cqa/internal/words"
+)
+
+func TestLiteralAndString(t *testing.T) {
+	e := Literal(words.MustParse("RRX"))
+	if e.String() != "RRX" {
+		t.Errorf("String = %s", e.String())
+	}
+	if !Matches(e, words.MustParse("RRX")) || Matches(e, words.MustParse("RRRX")) {
+		t.Error("literal must match exactly itself")
+	}
+}
+
+func TestStarUnion(t *testing.T) {
+	// RR(R)*X — the language of L↬(RRX).
+	e := Seq(Literal(words.MustParse("RR")), Star{Sym{"R"}}, Sym{"X"})
+	if e.String() != "RRR*X" {
+		t.Errorf("String = %s", e.String())
+	}
+	for _, w := range []string{"RRX", "RRRX", "RRRRRX"} {
+		if !Matches(e, words.MustParse(w)) {
+			t.Errorf("should match %s", w)
+		}
+	}
+	for _, w := range []string{"RX", "RRXX", "RR"} {
+		if Matches(e, words.MustParse(w)) {
+			t.Errorf("should not match %s", w)
+		}
+	}
+	u := Union{[]Expr{Sym{"R"}, Sym{"X"}}}
+	if !Matches(Star{u}, words.MustParse("RXXR")) {
+		t.Error("(R|X)* matches everything over {R,X}")
+	}
+	if !Matches(Star{u}, words.Word{}) {
+		t.Error("star matches ε")
+	}
+	if Matches(Union{nil}, words.Word{}) {
+		t.Error("empty union is the empty language")
+	}
+}
+
+func TestPower(t *testing.T) {
+	e := Power(Literal(words.MustParse("RX")), 3)
+	if !Matches(e, words.MustParse("RXRXRX")) || Matches(e, words.MustParse("RXRX")) {
+		t.Error("Power wrong")
+	}
+	if !Matches(Power(Sym{"R"}, 0), words.Word{}) {
+		t.Error("e^0 = ε")
+	}
+}
+
+// TestRewindClosureRegexes machine-checks the regular expressions the
+// paper gives for rewinding closures:
+//   - L↬(RRX)  = RR(R)*X           (Section 1)
+//   - L↬(RXRY) = (RX)(RX)*RY       (Example 3: RXRY rewinds only within
+//     the RX period)
+func TestRewindClosureRegexes(t *testing.T) {
+	cases := []struct {
+		q  string
+		re Expr
+	}{
+		{"RRX", Seq(Literal(words.MustParse("RR")), Star{Sym{"R"}}, Sym{"X"})},
+		{"RXRY", Seq(Literal(words.MustParse("RX")), Star{Literal(words.MustParse("RX"))}, Literal(words.MustParse("RY")))},
+		{"RR", Seq(Literal(words.MustParse("RR")), Star{Sym{"R"}})},
+	}
+	for _, c := range cases {
+		q := words.MustParse(c.q)
+		nfaDFA := automata.New(q).ToDFA()
+		reDFA := ToDFA(c.re)
+		if !nfaDFA.Equal(reDFA) {
+			t.Errorf("q=%s: NFA(q) language != %s", c.q, c.re)
+		}
+	}
+}
+
+func TestEpsExpr(t *testing.T) {
+	if !Matches(Eps{}, words.Word{}) || Matches(Eps{}, words.MustParse("R")) {
+		t.Error("Eps matches exactly ε")
+	}
+	if (Eps{}).String() != "ε" {
+		t.Error("Eps string")
+	}
+	if (Concat{}).String() != "ε" {
+		t.Error("empty concat string")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	e := Seq(Sym{"R"}, Star{Union{[]Expr{Sym{"X"}, Sym{"Y"}}}})
+	got := Symbols(e)
+	if len(got) != 3 || got[0] != "R" || got[1] != "X" || got[2] != "Y" {
+		t.Errorf("Symbols = %v", got)
+	}
+}
+
+func TestUnionParenthesization(t *testing.T) {
+	e := Seq(Sym{"A"}, Union{[]Expr{Sym{"R"}, Sym{"X"}}})
+	if e.String() != "A(R|X)" {
+		t.Errorf("String = %s", e.String())
+	}
+}
+
+func TestDFAEquivalenceViaRegex(t *testing.T) {
+	// (R|X)* vs (R*X*)*: same language.
+	e1 := Star{Union{[]Expr{Sym{"R"}, Sym{"X"}}}}
+	e2 := Star{Seq(Star{Sym{"R"}}, Star{Sym{"X"}})}
+	if !ToDFA(e1).Equal(ToDFA(e2)) {
+		t.Error("(R|X)* should equal (R*X*)*")
+	}
+	e3 := Star{Sym{"R"}}
+	if ToDFA(e1).Equal(ToDFA(e3)) {
+		t.Error("(R|X)* != R*")
+	}
+}

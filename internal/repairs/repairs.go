@@ -1,0 +1,154 @@
+// Package repairs provides repair enumeration, counting and sampling for
+// inconsistent database instances, and the exhaustive (exponential-time)
+// certain-answer decision procedure that serves as ground truth for every
+// polynomial solver tier in this repository.
+//
+// A repair of db is an inclusion-maximal consistent subset of db
+// (Section 2 of the paper); equivalently, a choice of exactly one fact
+// from every block.
+package repairs
+
+import (
+	"math/big"
+	"math/rand"
+
+	"cqa/internal/instance"
+	"cqa/internal/words"
+)
+
+// Count returns the number of repairs of db: the product of the block
+// sizes. The result can be exponential in |db|, hence a big.Int.
+func Count(db *instance.Instance) *big.Int {
+	n := big.NewInt(1)
+	for _, id := range db.Blocks() {
+		n.Mul(n, big.NewInt(int64(len(db.Block(id.Rel, id.Key)))))
+	}
+	return n
+}
+
+// ForEach enumerates all repairs of db in deterministic order, calling
+// visit for each. The instance passed to visit is reused across calls;
+// clone it if it must be retained. Enumeration stops early when visit
+// returns false. ForEach reports whether enumeration ran to completion.
+func ForEach(db *instance.Instance, visit func(r *instance.Instance) bool) bool {
+	blocks := db.Blocks()
+	choice := make([]int, len(blocks))
+	r := instance.New()
+	for i, id := range blocks {
+		vals := db.Block(id.Rel, id.Key)
+		r.AddFact(id.Rel, id.Key, vals[0])
+		_ = i
+	}
+	for {
+		if !visit(r) {
+			return false
+		}
+		// Odometer increment.
+		i := len(blocks) - 1
+		for ; i >= 0; i-- {
+			id := blocks[i]
+			vals := db.Block(id.Rel, id.Key)
+			r.Remove(instance.Fact{Rel: id.Rel, Key: id.Key, Val: vals[choice[i]]})
+			choice[i]++
+			if choice[i] < len(vals) {
+				r.AddFact(id.Rel, id.Key, vals[choice[i]])
+				break
+			}
+			choice[i] = 0
+			r.AddFact(id.Rel, id.Key, vals[0])
+		}
+		if i < 0 {
+			return true
+		}
+	}
+}
+
+// All returns every repair of db. Use only on small instances: the
+// number of repairs is the product of block sizes.
+func All(db *instance.Instance) []*instance.Instance {
+	var out []*instance.Instance
+	ForEach(db, func(r *instance.Instance) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+// Sample returns a uniformly random repair of db drawn with rng.
+func Sample(db *instance.Instance, rng *rand.Rand) *instance.Instance {
+	r := instance.New()
+	for _, id := range db.Blocks() {
+		vals := db.Block(id.Rel, id.Key)
+		r.AddFact(id.Rel, id.Key, vals[rng.Intn(len(vals))])
+	}
+	return r
+}
+
+// IsCertain decides CERTAINTY(q) on db by exhaustive repair enumeration:
+// it reports whether every repair of db satisfies the path query with
+// word q. Exponential time; ground truth for small instances.
+func IsCertain(db *instance.Instance, q words.Word) bool {
+	certain := true
+	ForEach(db, func(r *instance.Instance) bool {
+		if !r.Satisfies(q) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain
+}
+
+// Counterexample returns a repair of db that falsifies q, or nil if db is
+// a "yes"-instance of CERTAINTY(q). Exponential time.
+func Counterexample(db *instance.Instance, q words.Word) *instance.Instance {
+	var cex *instance.Instance
+	ForEach(db, func(r *instance.Instance) bool {
+		if !r.Satisfies(q) {
+			cex = r.Clone()
+			return false
+		}
+		return true
+	})
+	return cex
+}
+
+// CountSatisfying returns the number of repairs of db that satisfy q —
+// the quantity studied by the counting variant ♯CERTAINTY(q) discussed
+// in Section 9 of the paper. Exponential time.
+func CountSatisfying(db *instance.Instance, q words.Word) *big.Int {
+	n := big.NewInt(0)
+	one := big.NewInt(1)
+	ForEach(db, func(r *instance.Instance) bool {
+		if r.Satisfies(q) {
+			n.Add(n, one)
+		}
+		return true
+	})
+	return n
+}
+
+// CertainStarts returns the set of constants c such that *every* repair
+// of db has a path starting in c with trace exactly q. Exhaustive;
+// used to cross-check the FO rewriting tier.
+func CertainStarts(db *instance.Instance, q words.Word) map[string]bool {
+	first := true
+	cur := make(map[string]bool)
+	ForEach(db, func(r *instance.Instance) bool {
+		starts := r.StartsOfTrace(q)
+		if first {
+			for c := range starts {
+				cur[c] = true
+			}
+			first = false
+		} else {
+			for c := range cur {
+				if !starts[c] {
+					delete(cur, c)
+				}
+			}
+		}
+		return len(cur) > 0 || first
+	})
+	return cur
+}

@@ -1,0 +1,438 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver over CNF formulas: two-watched-literal propagation, first-UIP
+// conflict analysis with clause learning, VSIDS-style activity-based
+// branching with phase saving, and Luby restarts. It is the generic
+// substrate for the coNP solver tier (Section 7.2 of the paper shows
+// coNP-hardness via SAT; practical CQA systems such as CAvSAT, discussed
+// in Section 9, use SAT solvers in the same role).
+//
+// Literals are nonzero integers in the DIMACS convention: +v is the
+// positive literal of variable v (1-based), -v its negation.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Status is the result of solving.
+type Status int
+
+const (
+	// Sat means a satisfying assignment was found.
+	Sat Status = iota
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+	// Unknown means the solver hit its conflict budget.
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrBadLiteral is returned by AddClause for zero or out-of-range
+// literals.
+var ErrBadLiteral = errors.New("sat: literal out of range")
+
+const (
+	unassigned int8 = 0
+	trueVal    int8 = 1
+	falseVal   int8 = -1
+)
+
+type clause struct {
+	lits    []int
+	learned bool
+}
+
+// Solver is a CDCL SAT solver instance. Create with NewSolver, add
+// clauses with AddClause, then call Solve.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	// watches[litIndex] = clauses watching that literal.
+	watches [][]*clause
+
+	assign   []int8 // by variable (1-based)
+	level    []int  // decision level per variable
+	reason   []*clause
+	trail    []int // assigned literals in order
+	trailLim []int
+
+	activity []float64
+	varInc   float64
+	phase    []int8
+
+	propagations uint64
+	conflicts    uint64
+	decisions    uint64
+
+	// MaxConflicts bounds the search; 0 means unbounded.
+	MaxConflicts uint64
+}
+
+// NewSolver returns a solver for variables 1..nVars.
+func NewSolver(nVars int) *Solver {
+	s := &Solver{
+		nVars:    nVars,
+		watches:  make([][]*clause, 2*(nVars+1)),
+		assign:   make([]int8, nVars+1),
+		level:    make([]int, nVars+1),
+		reason:   make([]*clause, nVars+1),
+		activity: make([]float64, nVars+1),
+		phase:    make([]int8, nVars+1),
+		varInc:   1,
+	}
+	return s
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses added.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for _, c := range s.clauses {
+		if !c.learned {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns (decisions, propagations, conflicts).
+func (s *Solver) Stats() (uint64, uint64, uint64) {
+	return s.decisions, s.propagations, s.conflicts
+}
+
+func litIndex(l int) int {
+	if l > 0 {
+		return 2 * l
+	}
+	return -2*l + 1
+}
+
+func (s *Solver) value(l int) int8 {
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	a := s.assign[v]
+	if a == unassigned {
+		return unassigned
+	}
+	if (l > 0) == (a == trueVal) {
+		return trueVal
+	}
+	return falseVal
+}
+
+// AddClause adds a clause (a disjunction of literals). Duplicate
+// literals are removed; tautologies are ignored. Adding an empty clause
+// makes the formula trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...int) error {
+	seen := make(map[int]bool, len(lits))
+	var out []int
+	for _, l := range lits {
+		if l == 0 || l > s.nVars || l < -s.nVars {
+			return fmt.Errorf("%w: %d (nVars=%d)", ErrBadLiteral, l, s.nVars)
+		}
+		if seen[-l] {
+			return nil // tautology: always satisfied
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	if len(out) >= 2 {
+		s.watch(c, out[0])
+		s.watch(c, out[1])
+	}
+	return nil
+}
+
+func (s *Solver) watch(c *clause, lit int) {
+	i := litIndex(lit)
+	s.watches[i] = append(s.watches[i], c)
+}
+
+func (s *Solver) enqueue(l int, from *clause) bool {
+	switch s.value(l) {
+	case trueVal:
+		return true
+	case falseVal:
+		return false
+	}
+	v := l
+	val := trueVal
+	if v < 0 {
+		v = -v
+		val = falseVal
+	}
+	s.assign[v] = val
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate runs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate(qhead *int) *clause {
+	for *qhead < len(s.trail) {
+		l := s.trail[*qhead]
+		*qhead++
+		s.propagations++
+		// Clauses watching ¬l must be updated.
+		negIdx := litIndex(-l)
+		ws := s.watches[negIdx]
+		var kept []*clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			// Find the two watched literals; by convention they are
+			// kept in lits[0], lits[1].
+			if len(c.lits) >= 2 {
+				if c.lits[0] == -l {
+					c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+				}
+				// c.lits[1] == -l now (it was watched).
+				if s.value(c.lits[0]) == trueVal {
+					kept = append(kept, c)
+					continue
+				}
+				moved := false
+				for k := 2; k < len(c.lits); k++ {
+					if s.value(c.lits[k]) != falseVal {
+						c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+						s.watch(c, c.lits[1])
+						moved = true
+						break
+					}
+				}
+				if moved {
+					continue // no longer watching ¬l
+				}
+				kept = append(kept, c)
+				if !s.enqueue(c.lits[0], c) {
+					// Conflict: restore remaining watches.
+					kept = append(kept, ws[wi+1:]...)
+					s.watches[negIdx] = kept
+					return c
+				}
+				continue
+			}
+			kept = append(kept, c)
+		}
+		s.watches[negIdx] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]int, int) {
+	learnt := []int{0} // placeholder for asserting literal
+	seen := make([]bool, s.nVars+1)
+	counter := 0
+	var p int
+	idx := len(s.trail) - 1
+	c := confl
+
+	for {
+		for _, l := range c.lits {
+			if l == p { // skip the asserting path literal
+				continue
+			}
+			v := abs(l)
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, l)
+			}
+		}
+		// Pick the next literal on the trail to resolve.
+		for !seen[abs(s.trail[idx])] {
+			idx--
+		}
+		p = s.trail[idx]
+		v := abs(p)
+		seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = -p
+			break
+		}
+		c = s.reason[v]
+		idx--
+	}
+
+	// Backjump level = max level among learnt[1:].
+	back := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.level[abs(learnt[i])]; lv > back {
+			back = lv
+		}
+	}
+	// Move a literal of the backjump level to position 1 (watch order).
+	for i := 1; i < len(learnt); i++ {
+		if s.level[abs(learnt[i])] == back {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	return learnt, back
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (s *Solver) cancelUntil(level int, qhead *int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := abs(s.trail[i])
+		s.phase[v] = s.assign[v]
+		s.assign[v] = unassigned
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	if *qhead > lim {
+		*qhead = lim
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == unassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i uint64) uint64 {
+	for k := uint64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment. On Sat, Model reports the
+// assignment.
+func (s *Solver) Solve() Status {
+	// Handle unit and empty clauses up front.
+	qhead := 0
+	for _, c := range s.clauses {
+		switch len(c.lits) {
+		case 0:
+			return Unsat
+		case 1:
+			if !s.enqueue(c.lits[0], c) {
+				return Unsat
+			}
+		}
+	}
+	if s.propagate(&qhead) != nil {
+		return Unsat
+	}
+
+	restart := uint64(1)
+	budget := 100 * luby(restart)
+	confSinceRestart := uint64(0)
+
+	for {
+		confl := s.propagate(&qhead)
+		if confl != nil {
+			s.conflicts++
+			confSinceRestart++
+			if s.MaxConflicts > 0 && s.conflicts > s.MaxConflicts {
+				return Unknown
+			}
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back, &qhead)
+			c := &clause{lits: learnt, learned: true}
+			s.clauses = append(s.clauses, c)
+			if len(learnt) >= 2 {
+				s.watch(c, learnt[0])
+				s.watch(c, learnt[1])
+			}
+			s.enqueue(learnt[0], c)
+			s.varInc /= 0.95
+			continue
+		}
+		if confSinceRestart >= budget {
+			restart++
+			budget = 100 * luby(restart)
+			confSinceRestart = 0
+			s.cancelUntil(0, &qhead)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat // all variables assigned
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		lit := v
+		if s.phase[v] == falseVal {
+			lit = -v
+		}
+		s.enqueue(lit, nil)
+	}
+}
+
+// Model returns the satisfying assignment found by the last Sat call:
+// Model()[v] is the value of variable v (index 0 unused).
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		m[v] = s.assign[v] == trueVal
+	}
+	return m
+}

@@ -1,0 +1,107 @@
+// Package workload generates synthetic database instances for tests and
+// benchmarks: random block-structured instances with controlled
+// inconsistency, chain instances in the style of Figures 2/3/6 of the
+// paper, and scaled gadget families obtained by pushing random source
+// problems through the Section 7 reductions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqa/internal/instance"
+	"cqa/internal/words"
+)
+
+// Config controls random instance generation.
+type Config struct {
+	// Relations to draw facts from.
+	Relations []string
+	// Constants is the active-domain size.
+	Constants int
+	// Facts is the number of AddFact draws (duplicates collapse).
+	Facts int
+	// ConflictRate in [0,1] biases key reuse: higher values produce
+	// more multi-fact blocks.
+	ConflictRate float64
+	Seed         int64
+}
+
+// Random generates an instance per the configuration.
+func Random(cfg Config) *instance.Instance {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := instance.New()
+	if cfg.Constants <= 0 || cfg.Facts <= 0 || len(cfg.Relations) == 0 {
+		return db
+	}
+	type blockID struct{ rel, key string }
+	seen := map[blockID]bool{}
+	var blocks []blockID
+	for i := 0; i < cfg.Facts; i++ {
+		rel := cfg.Relations[rng.Intn(len(cfg.Relations))]
+		var key string
+		if len(blocks) > 0 && rng.Float64() < cfg.ConflictRate {
+			// Reuse an existing (distinct) block to force a conflict.
+			k := blocks[rng.Intn(len(blocks))]
+			rel, key = k.rel, k.key
+		} else {
+			key = constName(rng.Intn(cfg.Constants))
+		}
+		val := constName(rng.Intn(cfg.Constants))
+		db.AddFact(rel, key, val)
+		id := blockID{rel, key}
+		if !seen[id] {
+			seen[id] = true
+			blocks = append(blocks, id)
+		}
+	}
+	return db
+}
+
+func constName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// Chain builds a consistent chain instance c0 -q[0]-> c1 -q[1]-> ...,
+// repeating the query word cycles times, as a baseline yes-instance.
+func Chain(q words.Word, cycles int) *instance.Instance {
+	db := instance.New()
+	v := 0
+	for c := 0; c < cycles; c++ {
+		for _, rel := range q {
+			db.AddFact(rel, constName(v), constName(v+1))
+			v++
+		}
+	}
+	return db
+}
+
+// Figure2Family scales the Figure 2 pattern: a chain of n conflicting
+// R-blocks that all eventually reach an X-edge; a yes-instance of
+// CERTAINTY(RRX) with no certain exact start. Returns the instance.
+func Figure2Family(n int) *instance.Instance {
+	db := instance.New()
+	for i := 0; i < n; i++ {
+		db.AddFact("R", constName(i), constName(i+1))
+		db.AddFact("R", constName(i), constName(i+2)) // conflict
+	}
+	db.AddFact("R", constName(n), constName(n+1))
+	db.AddFact("R", constName(n+1), constName(n+2))
+	db.AddFact("X", constName(n+2), constName(n+3))
+	db.AddFact("X", constName(n+1), constName(n+3))
+	return db
+}
+
+// Figure3Family scales the Figure 3 bifurcation gadget for q = ARRX:
+// n independent copies, all no-instances; the union is a no-instance.
+func Figure3Family(n int) *instance.Instance {
+	db := instance.New()
+	for i := 0; i < n; i++ {
+		p := func(s string) string { return fmt.Sprintf("%s_%d", s, i) }
+		db.AddFact("A", p("0"), p("a"))
+		db.AddFact("R", p("a"), p("b"))
+		db.AddFact("R", p("a"), p("c"))
+		db.AddFact("R", p("b"), p("c"))
+		db.AddFact("R", p("c"), p("b"))
+		db.AddFact("X", p("c"), p("t"))
+	}
+	return db
+}
