@@ -9,6 +9,7 @@ package cqa
 // generality, and classification is polynomial in |q|.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -130,7 +131,10 @@ func BenchmarkTierCrossover(b *testing.B) {
 	}
 }
 
-// BenchmarkDispatch measures the full facade (classification included).
+// BenchmarkDispatch measures the full facade. Since the facade runs on
+// the default engine, this is the warm (plan-cached) path; see
+// BenchmarkColdCertain / BenchmarkEngineReuse for the cold-vs-warm
+// comparison.
 func BenchmarkDispatch(b *testing.B) {
 	db := benchInstance(1000)
 	for _, qs := range []string{"RXRX", "RRX", "RXRYRY", "ARRX"} {
@@ -138,6 +142,102 @@ func BenchmarkDispatch(b *testing.B) {
 		b.Run(qs, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				Certain(q, db)
+			}
+		})
+	}
+}
+
+// engineBenchCases is the serving-style workload for the plan-reuse
+// benchmarks: a handful of hot C2/C3 queries hitting small instances,
+// the regime the ROADMAP's heavy-traffic north star cares about.
+var engineBenchCases = []struct {
+	query string
+	facts int
+}{
+	{"RRX", 20},            // C2 (NL tier: certified loop decomposition)
+	{"RRRRRRRRX", 20},      // C2, longer loop region (costlier certification)
+	{"RXRYRY", 20},         // C3 (PTIME tier: Figure 5 fixpoint)
+	{"RXRYRYRYRYRYRY", 20}, // C3, longer query (costlier classification)
+}
+
+// BenchmarkColdCertain is the per-call baseline: every decision pays
+// classification plus tier compilation (a fresh engine per iteration,
+// matching the pre-engine facade behavior). The "mixed" case runs the
+// whole workload per op — its ratio against BenchmarkEngineReuse/mixed
+// is the workload-level plan-reuse speedup.
+func BenchmarkColdCertain(b *testing.B) {
+	for _, c := range engineBenchCases {
+		q := MustParseQuery(c.query)
+		db := benchInstance(c.facts)
+		b.Run(fmt.Sprintf("%s/facts=%d", c.query, c.facts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := NewEngine(EngineConfig{})
+				eng.Certain(q, db)
+			}
+		})
+	}
+	queries, dbs := engineBenchWorkload()
+	b.Run("mixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(EngineConfig{})
+			for j, q := range queries {
+				eng.Certain(q, dbs[j])
+			}
+		}
+	})
+}
+
+func engineBenchWorkload() ([]Query, []*Instance) {
+	var queries []Query
+	var dbs []*Instance
+	for _, c := range engineBenchCases {
+		queries = append(queries, MustParseQuery(c.query))
+		dbs = append(dbs, benchInstance(c.facts))
+	}
+	return queries, dbs
+}
+
+// BenchmarkEngineReuse is the same workload through one shared engine:
+// the plan is compiled once and every call runs only instance-dependent
+// work. The acceptance bar for this PR is ≥ 2x over BenchmarkColdCertain
+// on the mixed C2/C3 workload.
+func BenchmarkEngineReuse(b *testing.B) {
+	for _, c := range engineBenchCases {
+		q := MustParseQuery(c.query)
+		db := benchInstance(c.facts)
+		eng := NewEngine(EngineConfig{})
+		eng.Certain(q, db) // warm the plan cache
+		b.Run(fmt.Sprintf("%s/facts=%d", c.query, c.facts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Certain(q, db)
+			}
+		})
+	}
+	queries, dbs := engineBenchWorkload()
+	eng := NewEngine(EngineConfig{})
+	b.Run("mixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, q := range queries {
+				eng.Certain(q, dbs[j])
+			}
+		}
+	})
+}
+
+// BenchmarkCertainBatch measures the worker-pool batch API on a mixed
+// C2/C3 request stream, against the same requests evaluated
+// sequentially.
+func BenchmarkCertainBatch(b *testing.B) {
+	var reqs []Request
+	for i := 0; i < 64; i++ {
+		c := engineBenchCases[i%len(engineBenchCases)]
+		reqs = append(reqs, Request{Query: MustParseQuery(c.query), DB: benchInstance(c.facts)})
+	}
+	for _, workers := range []int{1, 4, 8} {
+		eng := NewEngine(EngineConfig{Workers: workers})
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.CertainBatch(context.Background(), reqs)
 			}
 		})
 	}

@@ -1,23 +1,34 @@
 // Command cqa is the command-line front end of the library: classify
 // path queries, decide CERTAINTY(q) on instances loaded from CSV or fact
-// lists, print consistent first-order rewritings, rewinding languages,
-// NFA(q) diagrams, and Figure 5 fixpoint traces.
+// lists, inspect compiled plans, evaluate request batches concurrently,
+// print consistent first-order rewritings, rewinding languages, NFA(q)
+// diagrams, and Figure 5 fixpoint traces.
 //
 // Usage:
 //
 //	cqa classify <query>...
 //	cqa solve -q <query> (-db <file.csv> | -facts "R(a,b) ...") [-method M] [-cex]
+//	cqa plan -q <query>
+//	cqa batch [-file reqs.txt] [-workers N]
 //	cqa rewrite -q <query>
 //	cqa language -q <query> [-max N]
 //	cqa nfa -q <query>
 //	cqa trace -q <query> (-db <file.csv> | -facts "...")
 //	cqa count (-db <file.csv> | -facts "...")
+//
+// All certainty decisions run through the engine (cqa.Engine): plans
+// are compiled once per query word and cached, and batch requests are
+// evaluated on a worker pool.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"cqa"
 	"cqa/internal/automata"
@@ -36,6 +47,10 @@ func main() {
 		err = cmdClassify(os.Args[2:])
 	case "solve":
 		err = cmdSolve(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "batch":
+		err = cmdBatch(os.Args[2:])
 	case "rewrite":
 		err = cmdRewrite(os.Args[2:])
 	case "language":
@@ -62,6 +77,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cqa classify <query>...          complexity class of CERTAINTY(q) with witnesses
   cqa solve -q Q [-db F|-facts S]  decide CERTAINTY(q) on an instance
+  cqa plan -q Q                    compiled execution plan for q
+  cqa batch [-file F] [-workers N] decide a batch of "query ; facts" request lines
   cqa rewrite -q Q                 consistent FO rewriting (FO class only)
   cqa language -q Q [-max N]       rewinding closure L↬(q) up to length N
   cqa nfa -q Q                     NFA(q) in Graphviz DOT
@@ -136,6 +153,87 @@ func cmdSolve(args []string) error {
 	if *cex && res.Counterexample != nil {
 		fmt.Printf("repair falsifying q: %s\n", res.Counterexample)
 	}
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	qs := fs.String("q", "", "path query word, e.g. RRX")
+	fs.Parse(args)
+	q, err := cqa.ParseQuery(*qs)
+	if err != nil {
+		return err
+	}
+	p := cqa.CompilePlan(q)
+	fmt.Printf("query  : %v\n", q)
+	fmt.Printf("class  : %v\n", p.Class())
+	fmt.Printf("method : %s\n", p.Method())
+	if s, ok := p.Rewriting(); ok {
+		fmt.Printf("fo     : %s\n", s)
+	}
+	if s, ok := p.Decomposition(); ok {
+		fmt.Printf("nl     : %s\n", s)
+	}
+	return nil
+}
+
+// cmdBatch reads request lines of the form "QUERY ; FACTS" (e.g.
+// "RRX ; R(0,1) R(1,2) X(2,3)") from -file or stdin and decides them
+// concurrently on one engine, so repeated query words share a compiled
+// plan.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	file := fs.String("file", "", "request file (default: stdin)")
+	workers := fs.Int("workers", 0, "worker-pool size (default: GOMAXPROCS)")
+	fs.Parse(args)
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var reqs []cqa.Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		qpart, fpart, ok := strings.Cut(line, ";")
+		if !ok {
+			return fmt.Errorf("line %d: want \"QUERY ; FACTS\", got %q", lineNo, line)
+		}
+		q, err := cqa.ParseQuery(strings.TrimSpace(qpart))
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		db, err := instance.ParseFacts(strings.TrimSpace(fpart))
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		reqs = append(reqs, cqa.Request{Query: q, DB: db})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	eng := cqa.NewEngine(cqa.EngineConfig{Workers: *workers})
+	for i, res := range eng.CertainBatch(context.Background(), reqs) {
+		if res.Err != nil {
+			fmt.Printf("%-4d %-12v error: %v\n", i+1, reqs[i].Query, res.Err)
+			continue
+		}
+		fmt.Printf("%-4d %-12v certain=%-5v class=%v method=%s\n",
+			i+1, reqs[i].Query, res.Certain, res.Class, res.Method)
+	}
+	stats := eng.CacheStats()
+	fmt.Printf("# %d requests, %d plans compiled (cache: %d hits / %d misses)\n",
+		len(reqs), stats.Entries, stats.Hits, stats.Misses)
 	return nil
 }
 

@@ -22,21 +22,22 @@
 //   - PTIME: the fixpoint algorithm of Figure 5;
 //   - coNP: CDCL SAT on a polynomial encoding of the complement.
 //
+// All decisions run through compiled plans (see the Engine quickstart
+// in engine.go): classification and the tier-specific machinery are
+// computed once per query word and cached, and CertainBatch evaluates
+// many (query, instance) pairs concurrently on a worker pool.
+//
 // Every tier is differentially tested against exhaustive repair
 // enumeration; see DESIGN.md for the system inventory and EXPERIMENTS.md
 // for the paper-artifact reproductions.
 package cqa
 
 import (
-	"errors"
 	"fmt"
 
 	"cqa/internal/classify"
-	"cqa/internal/conp"
-	"cqa/internal/fixpoint"
-	"cqa/internal/fo"
 	"cqa/internal/instance"
-	"cqa/internal/nl"
+	"cqa/internal/plan"
 	"cqa/internal/query"
 	"cqa/internal/repairs"
 )
@@ -85,155 +86,50 @@ func Classify(q Query) Class { return classify.Classify(q.Word()) }
 func Explain(q Query) classify.Report { return classify.Explain(q.Word()) }
 
 // Method identifies the solver tier used for a decision.
-type Method string
+type Method = plan.Method
 
 // Solver tiers.
 const (
-	MethodFO         Method = "fo-rewriting"
-	MethodNL         Method = "nl-loop"
-	MethodFixpoint   Method = "ptime-fixpoint"
-	MethodSAT        Method = "conp-sat"
-	MethodExhaustive Method = "exhaustive"
+	MethodFO         = plan.MethodFO
+	MethodNL         = plan.MethodNL
+	MethodFixpoint   = plan.MethodFixpoint
+	MethodSAT        = plan.MethodSAT
+	MethodExhaustive = plan.MethodExhaustive
 )
 
 // Result is the outcome of a certainty decision.
-type Result struct {
-	Certain bool
-	Class   Class
-	Method  Method
-	// Witness is a constant c such that every repair has a q-path
-	// starting at c (set on yes-instances decided by the fixpoint
-	// tier).
-	Witness string
-	// Counterexample is a repair falsifying q (set on no-instances
-	// where the tier produces one).
-	Counterexample *Instance
-	// Note carries diagnostic detail, e.g. the NL decomposition or a
-	// fallback reason.
-	Note string
-}
+type Result = plan.Result
 
 // Options tunes Certain.
-type Options struct {
-	// Force selects a specific tier instead of dispatching on the
-	// class. Forcing a tier that is unsound for the query's class
-	// (e.g. FO rewriting for a coNP query) returns an error.
-	Force Method
-	// WantCounterexample asks for a counterexample repair on
-	// no-instances even when the chosen tier does not produce one as a
-	// byproduct.
-	WantCounterexample bool
-}
+type Options = plan.Options
 
 // ErrUnsoundMethod is returned when a forced method does not cover the
 // query's complexity class.
-var ErrUnsoundMethod = errors.New("cqa: forced method is unsound for this query class")
+var ErrUnsoundMethod = plan.ErrUnsoundMethod
 
-// Certain decides CERTAINTY(q) on db with automatic tier dispatch.
+// Certain decides CERTAINTY(q) on db with automatic tier dispatch. It
+// runs on the package-level default Engine, so the compiled plan for q
+// is cached and reused across calls.
 func Certain(q Query, db *Instance) Result {
-	r, err := CertainOpt(q, db, Options{})
-	if err != nil {
-		// Automatic dispatch never errors.
-		panic("cqa: internal: " + err.Error())
-	}
-	return r
+	return defaultEngine.Certain(q, db)
 }
 
-// CertainOpt decides CERTAINTY(q) on db with explicit options.
+// CertainOpt decides CERTAINTY(q) on db with explicit options, reusing
+// the default Engine's cached plan for q.
 func CertainOpt(q Query, db *Instance, opts Options) (Result, error) {
-	w := q.Word()
-	cls := classify.Classify(w)
-	res := Result{Class: cls}
-
-	method := opts.Force
-	if method == "" {
-		switch cls {
-		case FO:
-			method = MethodFO
-		case NL:
-			method = MethodNL
-		case PTime:
-			method = MethodFixpoint
-		default:
-			method = MethodSAT
-		}
-	} else if !sound(method, cls) {
-		return res, fmt.Errorf("%w: %s for %v query %v", ErrUnsoundMethod, method, cls, q)
-	}
-
-	switch method {
-	case MethodFO:
-		res.Method = MethodFO
-		res.Certain = fo.IsCertainFO(db, w)
-	case MethodNL:
-		certain, d, err := nl.IsCertain(db, w)
-		if err != nil {
-			// Certified decomposition unavailable: fall back to the
-			// fixpoint tier (correct for all C3 ⊇ C2 queries).
-			fp := fixpoint.Solve(db, w)
-			res.Method = MethodFixpoint
-			res.Certain = fp.Certain
-			res.Note = "nl fallback: " + err.Error()
-			if fp.Certain && len(fp.Starts) > 0 {
-				res.Witness = fp.Starts[0]
-			}
-			break
-		}
-		res.Method = MethodNL
-		res.Certain = certain
-		res.Note = d.String()
-	case MethodFixpoint:
-		fp := fixpoint.Solve(db, w)
-		res.Method = MethodFixpoint
-		res.Certain = fp.Certain
-		if fp.Certain && len(fp.Starts) > 0 {
-			res.Witness = fp.Starts[0]
-		} else if !fp.Certain {
-			res.Counterexample = fixpoint.CounterexampleRepair(db, w, fp)
-		}
-	case MethodSAT:
-		out := conp.IsCertain(db, w)
-		res.Method = MethodSAT
-		res.Certain = out.Certain
-		res.Counterexample = out.Counterexample
-	case MethodExhaustive:
-		res.Method = MethodExhaustive
-		res.Certain = repairs.IsCertain(db, w)
-		if !res.Certain {
-			res.Counterexample = repairs.Counterexample(db, w)
-		}
-	default:
-		return res, fmt.Errorf("cqa: unknown method %q", method)
-	}
-
-	if opts.WantCounterexample && !res.Certain && res.Counterexample == nil {
-		res.Counterexample = conp.IsCertain(db, w).Counterexample
-	}
-	return res, nil
-}
-
-// sound reports whether a tier decides queries of the given class.
-func sound(m Method, cls Class) bool {
-	switch m {
-	case MethodFO:
-		return cls == FO
-	case MethodNL:
-		return cls == FO || cls == NL
-	case MethodFixpoint:
-		return cls != CoNP
-	case MethodSAT, MethodExhaustive:
-		return true
-	}
-	return false
+	return defaultEngine.CertainOpt(q, db, opts)
 }
 
 // Rewrite returns the consistent first-order rewriting of Lemma 13 as a
-// formula string; it errors unless CERTAINTY(q) is in FO.
+// formula string; it errors unless CERTAINTY(q) is in FO. The formula
+// comes from the default Engine's cached plan.
 func Rewrite(q Query) (string, error) {
-	if Classify(q) != FO {
-		return "", fmt.Errorf("cqa: %v is %v; no first-order rewriting exists", q, Classify(q))
+	p := defaultEngine.Compile(q)
+	s, ok := p.Rewriting()
+	if !ok {
+		return "", fmt.Errorf("cqa: %v is %v; no first-order rewriting exists", q, p.Class())
 	}
-	return fo.RewriteCertain(q.Word()).String(), nil
+	return s, nil
 }
 
 // CountRepairs returns the number of repairs of db as a decimal string

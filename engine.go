@@ -1,0 +1,240 @@
+// Engine: compiled-plan evaluation with caching and batching.
+//
+// # Quickstart
+//
+// The free functions Certain and CertainOpt are all most programs need;
+// they run on a shared package-level Engine, so repeated queries reuse
+// compiled plans automatically:
+//
+//	q := cqa.MustParseQuery("RRX")
+//	db, _ := cqa.ParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+//	res := cqa.Certain(q, db) // compiles (and caches) the plan for RRX
+//
+// A dedicated Engine gives control over the plan-cache size and the
+// batch worker pool:
+//
+//	eng := cqa.NewEngine(cqa.EngineConfig{PlanCacheSize: 128, Workers: 8})
+//	p := eng.Compile(q)             // classification + tier artifacts, once
+//	res = p.Certain(db)             // per-instance work only
+//	fmt.Println(eng.CacheStats())   // {Hits:... Misses:... Entries:...}
+//
+// For serving-style workloads — many (query, instance) pairs in flight
+// at once — CertainBatch evaluates requests on a worker pool, sharing
+// one compiled plan per distinct query word:
+//
+//	reqs := []cqa.Request{{Query: q, DB: db1}, {Query: q, DB: db2}}
+//	for _, r := range eng.CertainBatch(ctx, reqs) {
+//		if r.Err != nil { ... }     // cancelled or unsound forced tier
+//	}
+//
+// Compiling a plan runs the Theorem 3 classification once and
+// precomputes the dispatched tier's machinery — the Lemma 13 FO
+// rewriting, the certified Section 6.3 loop decomposition, or the
+// Figure 5 fixpoint tables — so only instance-dependent work remains
+// per call (see internal/plan). Plans are immutable; one plan may serve
+// any number of goroutines concurrently.
+package cqa
+
+import (
+	"container/list"
+	"context"
+	"runtime"
+	"sync"
+
+	"cqa/internal/plan"
+)
+
+// Plan is a compiled execution plan for one path query: the Theorem 3
+// classification plus the precomputed artifacts of its solver tier.
+// Plans are immutable and safe for concurrent use.
+type Plan = plan.Plan
+
+// EngineConfig tunes an Engine.
+type EngineConfig struct {
+	// PlanCacheSize bounds the number of compiled plans kept in the
+	// LRU cache. 0 means DefaultPlanCacheSize.
+	PlanCacheSize int
+	// Workers is the number of goroutines CertainBatch runs. 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// DefaultPlanCacheSize is the plan-cache bound used when
+// EngineConfig.PlanCacheSize is 0.
+const DefaultPlanCacheSize = 256
+
+// Engine evaluates CERTAINTY(q, db) through an LRU cache of compiled
+// plans keyed by the query word, plus a worker pool for batch
+// evaluation. The zero value is not usable; construct with NewEngine.
+// An Engine is safe for concurrent use.
+type Engine struct {
+	capacity int
+	workers  int
+
+	mu    sync.Mutex
+	order *list.List // *cacheEntry, front = most recently used
+	index map[string]*list.Element
+	hits  uint64
+	miss  uint64
+}
+
+// cacheEntry compiles its plan at most once; concurrent requests for
+// the same fresh query block on the entry, not on the whole cache.
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	plan *Plan
+	word Query
+}
+
+// NewEngine returns an Engine with the given configuration.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = DefaultPlanCacheSize
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		capacity: cfg.PlanCacheSize,
+		workers:  cfg.Workers,
+		order:    list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+// Compile returns the cached plan for q, compiling it on first use.
+func (e *Engine) Compile(q Query) *Plan {
+	key := q.String()
+	e.mu.Lock()
+	if el, ok := e.index[key]; ok {
+		e.order.MoveToFront(el)
+		e.hits++
+		entry := el.Value.(*cacheEntry)
+		e.mu.Unlock()
+		entry.once.Do(func() { entry.plan = plan.Compile(entry.word.Word()) })
+		return entry.plan
+	}
+	e.miss++
+	entry := &cacheEntry{key: key, word: q}
+	e.index[key] = e.order.PushFront(entry)
+	for e.order.Len() > e.capacity {
+		oldest := e.order.Back()
+		e.order.Remove(oldest)
+		delete(e.index, oldest.Value.(*cacheEntry).key)
+	}
+	e.mu.Unlock()
+	// Compile outside the cache lock: a slow compilation (e.g. the DFA
+	// certification of an NL decomposition) must not serialize the
+	// whole engine. Plans already evicted remain usable by holders.
+	entry.once.Do(func() { entry.plan = plan.Compile(entry.word.Word()) })
+	return entry.plan
+}
+
+// Certain decides CERTAINTY(q) on db with automatic tier dispatch,
+// reusing the cached plan for q.
+func (e *Engine) Certain(q Query, db *Instance) Result {
+	return e.Compile(q).Certain(db)
+}
+
+// CertainOpt decides CERTAINTY(q) on db with explicit options, reusing
+// the cached plan for q.
+func (e *Engine) CertainOpt(q Query, db *Instance, opts Options) (Result, error) {
+	return e.Compile(q).Execute(db, opts)
+}
+
+// Request is one (query, instance) pair of a batch.
+type Request struct {
+	Query   Query
+	DB      *Instance
+	Options Options
+}
+
+// CertainBatch evaluates all requests concurrently on the engine's
+// worker pool and returns one Result per request, in request order.
+// Distinct requests for the same query word share a single compiled
+// plan. A request that cannot be evaluated — its options force an
+// unsound tier, or ctx is cancelled before it runs — gets its Err field
+// set instead of a decision; the remaining requests are unaffected.
+func (e *Engine) CertainBatch(ctx context.Context, reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i].Err = err
+					continue
+				}
+				res, err := e.CertainOpt(reqs[i].Query, reqs[i].DB, reqs[i].Options)
+				res.Err = err
+				out[i] = res
+			}
+		}()
+	}
+	sent := 0
+feed:
+	for i := range reqs {
+		select {
+		case idx <- i:
+			sent = i + 1
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := sent; i < len(reqs); i++ {
+			out[i].Err = err
+		}
+	}
+	return out
+}
+
+// CacheStats is a snapshot of the engine's plan-cache counters.
+type CacheStats struct {
+	// Hits and Misses count Compile lookups since the engine was
+	// created.
+	Hits, Misses uint64
+	// Entries is the number of plans currently cached.
+	Entries int
+}
+
+// CacheStats returns a snapshot of the plan-cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: e.miss, Entries: e.order.Len()}
+}
+
+// defaultEngine backs the package-level Certain/CertainOpt/CertainBatch
+// facade.
+var defaultEngine = NewEngine(EngineConfig{})
+
+// DefaultEngine returns the shared engine behind the package-level
+// facade functions.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// CompilePlan compiles (and caches on the default engine) the plan for
+// q.
+func CompilePlan(q Query) *Plan { return defaultEngine.Compile(q) }
+
+// CertainBatch evaluates the requests concurrently on the default
+// engine; see Engine.CertainBatch.
+func CertainBatch(ctx context.Context, reqs []Request) []Result {
+	return defaultEngine.CertainBatch(ctx, reqs)
+}

@@ -1,0 +1,240 @@
+package cqa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cqa/internal/repairs"
+	"cqa/internal/workload"
+)
+
+func TestEngineCacheHitMiss(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	db, _ := ParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	q := MustParseQuery("RRX")
+
+	eng.Certain(q, db)
+	if s := eng.CacheStats(); s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
+		t.Fatalf("after first call: %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		eng.Certain(q, db)
+	}
+	if s := eng.CacheStats(); s.Misses != 1 || s.Hits != 5 || s.Entries != 1 {
+		t.Fatalf("after repeats: %+v", s)
+	}
+	// A different spelling of the same word hits the same plan.
+	eng.Certain(MustParseQuery("R R X"), db)
+	if s := eng.CacheStats(); s.Misses != 1 || s.Hits != 6 {
+		t.Fatalf("after respelled query: %+v", s)
+	}
+	// A new word misses.
+	eng.Certain(MustParseQuery("RXRX"), db)
+	if s := eng.CacheStats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("after new query: %+v", s)
+	}
+}
+
+func TestEngineCompileReturnsSamePlan(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	q := MustParseQuery("RRX")
+	p1 := eng.Compile(q)
+	p2 := eng.Compile(MustParseQuery("RRX"))
+	if p1 != p2 {
+		t.Error("repeated Compile of the same word must return the cached plan")
+	}
+	if p1.Class() != NL || p1.Method() != MethodNL {
+		t.Errorf("plan: class=%v method=%v", p1.Class(), p1.Method())
+	}
+}
+
+func TestEngineLRUEviction(t *testing.T) {
+	eng := NewEngine(EngineConfig{PlanCacheSize: 2})
+	db := NewInstance()
+	for _, qs := range []string{"RRX", "RXRX", "RXRYRY"} {
+		eng.Certain(MustParseQuery(qs), db)
+	}
+	if s := eng.CacheStats(); s.Entries != 2 || s.Misses != 3 {
+		t.Fatalf("after filling: %+v", s)
+	}
+	// RRX was least recently used and must have been evicted.
+	eng.Certain(MustParseQuery("RRX"), db)
+	if s := eng.CacheStats(); s.Misses != 4 {
+		t.Fatalf("evicted query must recompile: %+v", s)
+	}
+	// RXRYRY stayed (it was most recent before the RRX recompile).
+	eng.Certain(MustParseQuery("RXRYRY"), db)
+	if s := eng.CacheStats(); s.Hits != 1 {
+		t.Fatalf("recent query must hit: %+v", s)
+	}
+}
+
+// TestPlanMatchesColdEvaluation checks that a reused plan decides
+// exactly like a cold facade call on a spread of instances per class.
+func TestPlanMatchesColdEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	eng := NewEngine(EngineConfig{})
+	for _, qs := range []string{"RXRX", "RRX", "RRRRX", "RXRYRY", "ARRX"} {
+		q := MustParseQuery(qs)
+		p := eng.Compile(q)
+		for it := 0; it < 40; it++ {
+			db := randomSmallInstance(rng)
+			got := p.Certain(db)
+			want := repairs.IsCertain(db, q.Word())
+			if got.Certain != want {
+				t.Fatalf("q=%v it=%d db=%s: plan=%v exhaustive=%v", q, it, db, got.Certain, want)
+			}
+		}
+	}
+}
+
+func randomSmallInstance(rng *rand.Rand) *Instance {
+	db := NewInstance()
+	n := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		rel := []string{"R", "X", "Y", "A"}[rng.Intn(4)]
+		db.AddFact(rel, string(rune('a'+rng.Intn(4))), string(rune('a'+rng.Intn(4))))
+	}
+	return db
+}
+
+// TestCertainBatchMatchesSequential runs the generated-query workload
+// through CertainBatch and checks every decision against the sequential
+// facade.
+func TestCertainBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	queries := []string{"RXRX", "RRX", "RXRYRY", "ARRX", "RR", "RX"}
+	var reqs []Request
+	for i := 0; i < 60; i++ {
+		db := workload.Random(workload.Config{
+			Relations:    []string{"R", "X", "Y", "A"},
+			Constants:    4 + rng.Intn(6),
+			Facts:        5 + rng.Intn(20),
+			ConflictRate: 0.4,
+			Seed:         int64(i),
+		})
+		reqs = append(reqs, Request{Query: MustParseQuery(queries[i%len(queries)]), DB: db})
+	}
+	eng := NewEngine(EngineConfig{Workers: 8})
+	results := eng.CertainBatch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		want := Certain(reqs[i].Query, reqs[i].DB)
+		if res.Certain != want.Certain || res.Class != want.Class || res.Method != want.Method {
+			t.Errorf("request %d (q=%v): batch=%+v sequential=%+v", i, reqs[i].Query, res, want)
+		}
+	}
+	if s := eng.CacheStats(); s.Entries != len(queries) {
+		t.Errorf("expected %d distinct plans, cache has %+v", len(queries), s)
+	}
+}
+
+// TestCertainBatchSharedInstance exercises many concurrent evaluations
+// over one shared *Instance (the memoized accessor views must be
+// race-free; run with -race).
+func TestCertainBatchSharedInstance(t *testing.T) {
+	db := workload.Random(workload.Config{
+		Relations:    []string{"R", "X", "Y"},
+		Constants:    20,
+		Facts:        60,
+		ConflictRate: 0.3,
+		Seed:         5,
+	})
+	var reqs []Request
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, Request{Query: MustParseQuery([]string{"RRX", "RXRYRY"}[i%2]), DB: db})
+	}
+	results := NewEngine(EngineConfig{Workers: 8}).CertainBatch(context.Background(), reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		if i >= 2 && res.Certain != results[i%2].Certain {
+			t.Errorf("request %d disagrees with request %d on the same instance", i, i%2)
+		}
+	}
+}
+
+func TestCertainBatchUnsoundForce(t *testing.T) {
+	db, _ := ParseFacts("R(a,b)")
+	reqs := []Request{
+		{Query: MustParseQuery("RRX"), DB: db},
+		{Query: MustParseQuery("ARRX"), DB: db, Options: Options{Force: MethodFO}},
+	}
+	results := CertainBatch(context.Background(), reqs)
+	if results[0].Err != nil {
+		t.Errorf("sound request errored: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("unsound forced tier must set Err")
+	}
+}
+
+func TestCertainBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	db, _ := ParseFacts("R(a,b)")
+	var reqs []Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, Request{Query: MustParseQuery("RRX"), DB: db})
+	}
+	for i, res := range DefaultEngine().CertainBatch(ctx, reqs) {
+		if res.Err == nil {
+			t.Errorf("request %d: want context error, got %+v", i, res)
+		}
+	}
+}
+
+func TestCertainBatchEmpty(t *testing.T) {
+	if got := CertainBatch(context.Background(), nil); len(got) != 0 {
+		t.Errorf("empty batch: %v", got)
+	}
+}
+
+// TestEngineConcurrentCompile hammers one engine from many goroutines
+// mixing cache hits, misses, and evictions (run with -race).
+func TestEngineConcurrentCompile(t *testing.T) {
+	eng := NewEngine(EngineConfig{PlanCacheSize: 3})
+	db, _ := ParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	words := []string{"RRX", "RXRX", "RXRYRY", "ARRX", "RR", "RX", "RRRRX"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				q := MustParseQuery(words[rng.Intn(len(words))])
+				res := eng.Certain(q, db)
+				if res.Err != nil {
+					t.Errorf("unexpected Err: %v", res.Err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if s := eng.CacheStats(); s.Entries > 3 {
+		t.Errorf("cache exceeded capacity: %+v", s)
+	}
+}
+
+func TestDefaultEngineBacksFacade(t *testing.T) {
+	q := MustParseQuery(fmt.Sprintf("R%s", "XRYRY")) // avoid test-order-dependent cache state
+	before := DefaultEngine().CacheStats()
+	db := NewInstance()
+	Certain(q, db)
+	Certain(q, db)
+	after := DefaultEngine().CacheStats()
+	if after.Hits+after.Misses < before.Hits+before.Misses+2 {
+		t.Errorf("facade calls must go through the default engine: before=%+v after=%+v", before, after)
+	}
+}

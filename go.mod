@@ -1,0 +1,3 @@
+module cqa
+
+go 1.24

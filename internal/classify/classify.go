@@ -68,36 +68,48 @@ func (v Violation) String() string {
 		q.Prefix(v.I), q[v.I], q.Factor(v.I+1, v.J), q.Suffix(v.J+1), q.Rewind(v.I, v.J))
 }
 
-// C1 reports whether q satisfies condition C1: whenever q = uRvRw, q is a
-// prefix of uRvRvRw. The returned violation (if any) is the first
-// witnessing decomposition.
-func C1(q words.Word) (bool, *Violation) {
-	for _, p := range q.SelfJoinPairs() {
-		if !q.Rewind(p[0], p[1]).HasPrefix(q) {
-			return false, &Violation{I: p[0], J: p[1], Q: q.Clone()}
-		}
-	}
-	return true, nil
+// analysis caches the outcome of one pass over the syntactic conditions:
+// each self-join pair is rewound exactly once and serves both the C1
+// prefix test and the C3 factor test, and the C2 triple condition is
+// scanned once. Classify and Explain share it instead of re-running the
+// (overlapping) conditions separately.
+type analysis struct {
+	c1, c2, c3             bool
+	violC1, violC2, violC3 *Violation
 }
 
-// C3 reports whether q satisfies condition C3: whenever q = uRvRw, q is a
-// factor of uRvRvRw.
-func C3(q words.Word) (bool, *Violation) {
+// analyze runs the single shared pass over q.
+func analyze(q words.Word) analysis {
+	a := analysis{c1: true, c2: true, c3: true}
 	for _, p := range q.SelfJoinPairs() {
-		if !q.Rewind(p[0], p[1]).HasFactor(q) {
-			return false, &Violation{I: p[0], J: p[1], Q: q.Clone()}
+		if !a.c1 && !a.c3 {
+			break
+		}
+		r := q.Rewind(p[0], p[1])
+		if a.c1 && !r.HasPrefix(q) {
+			a.c1 = false
+			a.violC1 = &Violation{I: p[0], J: p[1], Q: q.Clone()}
+		}
+		if a.c3 && !r.HasFactor(q) {
+			a.c3 = false
+			a.violC3 = &Violation{I: p[0], J: p[1], Q: q.Clone()}
 		}
 	}
-	return true, nil
+	switch {
+	case !a.c3:
+		// C2 ⊆ C3: a C3 violation witnesses the C2 failure too.
+		a.c2, a.violC2 = false, a.violC3
+	default:
+		if v := tripleViolation(q); v != nil {
+			a.c2, a.violC2 = false, v
+		}
+	}
+	return a
 }
 
-// C2 reports whether q satisfies condition C2: (i) whenever q = uRvRw, q
-// is a factor of uRvRvRw (i.e. C3); and (ii) whenever q = uRv1Rv2Rw for
+// tripleViolation scans condition C2(ii): whenever q = uRv1Rv2Rw for
 // consecutive occurrences of R, v1 = v2 or Rw is a prefix of Rv1.
-func C2(q words.Word) (bool, *Violation) {
-	if ok, v := C3(q); !ok {
-		return false, v
-	}
+func tripleViolation(q words.Word) *Violation {
 	for _, sym := range q.Symbols() {
 		occ := q.Occurrences(sym)
 		for t := 0; t+2 < len(occ); t++ {
@@ -112,21 +124,44 @@ func C2(q words.Word) (bool, *Violation) {
 			if v1.HasPrefix(w) {
 				continue
 			}
-			return false, &Violation{I: i, J: j, K: k, Triple: true, Q: q.Clone()}
+			return &Violation{I: i, J: j, K: k, Triple: true, Q: q.Clone()}
 		}
 	}
-	return true, nil
+	return nil
+}
+
+// C1 reports whether q satisfies condition C1: whenever q = uRvRw, q is a
+// prefix of uRvRvRw. The returned violation (if any) is the first
+// witnessing decomposition.
+func C1(q words.Word) (bool, *Violation) {
+	a := analyze(q)
+	return a.c1, a.violC1
+}
+
+// C3 reports whether q satisfies condition C3: whenever q = uRvRw, q is a
+// factor of uRvRvRw.
+func C3(q words.Word) (bool, *Violation) {
+	a := analyze(q)
+	return a.c3, a.violC3
+}
+
+// C2 reports whether q satisfies condition C2: (i) whenever q = uRvRw, q
+// is a factor of uRvRvRw (i.e. C3); and (ii) whenever q = uRv1Rv2Rw for
+// consecutive occurrences of R, v1 = v2 or Rw is a prefix of Rv1.
+func C2(q words.Word) (bool, *Violation) {
+	a := analyze(q)
+	return a.c2, a.violC2
 }
 
 // Classify returns the complexity class of CERTAINTY(q) per Theorem 3.
 func Classify(q words.Word) Class {
-	if ok, _ := C1(q); ok {
+	a := analyze(q)
+	switch {
+	case a.c1:
 		return FO
-	}
-	if ok, _ := C2(q); ok {
+	case a.c2:
 		return NL
-	}
-	if ok, _ := C3(q); ok {
+	case a.c3:
 		return PTime
 	}
 	return CoNP
@@ -148,10 +183,11 @@ type Report struct {
 
 // Explain computes the full classification report for q.
 func Explain(q words.Word) Report {
+	a := analyze(q)
 	r := Report{Query: q.Clone()}
-	r.C1, r.ViolC1 = C1(q)
-	r.C2, r.ViolC2 = C2(q)
-	r.C3, r.ViolC3 = C3(q)
+	r.C1, r.ViolC1 = a.c1, a.violC1
+	r.C2, r.ViolC2 = a.c2, a.violC2
+	r.C3, r.ViolC3 = a.c3, a.violC3
 	switch {
 	case r.C1:
 		r.Class = FO

@@ -50,10 +50,56 @@ type Result struct {
 // Has reports whether ⟨c, u⟩ ∈ N.
 func (r *Result) Has(c string, u int) bool { return r.N[c][u] }
 
+// Compiled is the query-dependent machinery of the Figure 5 algorithm,
+// precomputed once per query so that repeated Solve calls over many
+// instances skip rebuilding NFA(q) and its backward ε-transition table.
+// A Compiled value is immutable and safe for concurrent use.
+type Compiled struct {
+	q   words.Word
+	nfa *automata.NFA
+	// backSources[u] lists the states w with a backward ε-transition
+	// into u (longer prefixes ending with the same relation as q[:u]).
+	backSources [][]int
+	// positions[rel] lists the prefix lengths u with q[u] == rel.
+	positions map[string][]int
+}
+
+// Compile precomputes the query-side artifacts of the fixpoint
+// algorithm for q.
+func Compile(q words.Word) *Compiled {
+	n := len(q)
+	c := &Compiled{
+		q:           q.Clone(),
+		nfa:         automata.New(q),
+		backSources: make([][]int, n+1),
+		positions:   make(map[string][]int, n),
+	}
+	for u := 0; u <= n; u++ {
+		c.backSources[u] = c.nfa.BackwardSources(u)
+	}
+	for u, rel := range c.q {
+		c.positions[rel] = append(c.positions[rel], u)
+	}
+	return c
+}
+
+// Query returns the compiled query word.
+func (c *Compiled) Query() words.Word { return c.q.Clone() }
+
+// NFA returns the compiled NFA(q).
+func (c *Compiled) NFA() *automata.NFA { return c.nfa }
+
 // Solve runs the worklist implementation of the Figure 5 algorithm on db
 // for path query q. The Certain field of the result decides
 // CERTAINTY(q) whenever q satisfies C3.
 func Solve(db *instance.Instance, q words.Word) *Result {
+	return Compile(q).Solve(db)
+}
+
+// Solve runs the worklist algorithm on db with the precompiled query
+// machinery.
+func (cp *Compiled) Solve(db *instance.Instance) *Result {
+	q := cp.q
 	n := len(q)
 	adom := db.Adom()
 	res := &Result{Query: q.Clone(), N: make(map[string]map[int]bool, len(adom))}
@@ -83,20 +129,22 @@ func Solve(db *instance.Instance, q words.Word) *Result {
 		key string
 	}
 	succ := make(map[string]map[string][]ref) // rel -> val -> refs
-	for u := 0; u < n; u++ {
-		states[u] = make(map[string]*blockState)
-		rel := q[u]
-		if succ[rel] == nil {
-			succ[rel] = make(map[string][]ref)
+	for _, id := range db.Blocks() {
+		positions := cp.positions[id.Rel]
+		if len(positions) == 0 {
+			continue
 		}
-		for _, id := range db.Blocks() {
-			if id.Rel != rel {
-				continue
+		if succ[id.Rel] == nil {
+			succ[id.Rel] = make(map[string][]ref)
+		}
+		vals := db.Block(id.Rel, id.Key)
+		for _, u := range positions {
+			if states[u] == nil {
+				states[u] = make(map[string]*blockState)
 			}
-			vals := db.Block(id.Rel, id.Key)
 			states[u][id.Key] = &blockState{c: id.Key, pending: len(vals)}
 			for _, v := range vals {
-				succ[rel][v] = append(succ[rel][v], ref{u: u, key: id.Key})
+				succ[id.Rel][v] = append(succ[id.Rel][v], ref{u: u, key: id.Key})
 			}
 		}
 	}
@@ -115,11 +163,7 @@ func Solve(db *instance.Instance, q words.Word) *Result {
 	// Backward closure: when ⟨c, u⟩ is derived forward, also add ⟨c, w⟩
 	// for every state w with a backward ε-transition to u, i.e. every
 	// longer prefix w ending with the same relation name as u.
-	backSources := make([][]int, n+1)
-	nfa := automata.New(q)
-	for u := 0; u <= n; u++ {
-		backSources[u] = nfa.BackwardSources(u)
-	}
+	backSources := cp.backSources
 
 	// Initialization step: ⟨c, q⟩ for every c ∈ adom(db).
 	for _, c := range adom {

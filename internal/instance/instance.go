@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Fact is a fact R(key, val) of a binary relation R whose first position
@@ -37,12 +38,47 @@ func (b BlockID) String() string { return fmt.Sprintf("%s(%s,*)", b.Rel, b.Key) 
 
 // Instance is a finite set of facts. It maintains block and adjacency
 // indexes. The zero value is not ready for use; call New.
+//
+// An Instance is safe for concurrent READS (the accessors memoize their
+// sorted views in an atomic snapshot); mutating methods (Add, Remove,
+// AddAll) must not race with readers or each other.
 type Instance struct {
 	facts  map[Fact]struct{}
 	blocks map[BlockID][]string // block -> sorted distinct vals
 	adom   map[string]struct{}
 	rels   map[string]struct{}
+	// views caches the sorted slices handed out by Adom, Blocks, Facts
+	// and Relations; solvers call these on every evaluation, so
+	// re-sorting per call is hot-path waste. The snapshot is immutable
+	// once stored and invalidated wholesale on mutation.
+	views atomic.Pointer[viewCache]
 }
+
+// viewCache is an immutable snapshot of the sorted accessor views; nil
+// fields are computed on demand (copy-on-write, so concurrent readers
+// never see a partially built slice).
+type viewCache struct {
+	adom   []string
+	blocks []BlockID
+	facts  []Fact
+	rels   []string
+}
+
+// snapshot returns the current view snapshot, never nil.
+func (db *Instance) snapshot() viewCache {
+	if c := db.views.Load(); c != nil {
+		return *c
+	}
+	return viewCache{}
+}
+
+// publish stores an updated snapshot. Losing a concurrent publish race
+// only costs a recomputation later; the stored value is always fully
+// built.
+func (db *Instance) publish(c viewCache) { db.views.Store(&c) }
+
+// invalidate drops the memoized views after a mutation.
+func (db *Instance) invalidate() { db.views.Store(nil) }
 
 // New returns an empty instance.
 func New() *Instance {
@@ -79,6 +115,7 @@ func (db *Instance) Add(f Fact) *Instance {
 	db.adom[f.Key] = struct{}{}
 	db.adom[f.Val] = struct{}{}
 	db.rels[f.Rel] = struct{}{}
+	db.invalidate()
 	return db
 }
 
@@ -113,6 +150,7 @@ func (db *Instance) Remove(f Fact) {
 	// adom and rels are rebuilt lazily on demand only for correctness of
 	// Adom(); removal is rare (used by tests), so recompute.
 	db.recomputeDomains()
+	db.invalidate()
 }
 
 func (db *Instance) recomputeDomains() {
@@ -134,8 +172,13 @@ func (db *Instance) Contains(f Fact) bool {
 // Size returns the number of facts.
 func (db *Instance) Size() int { return len(db.facts) }
 
-// Facts returns all facts in deterministic (sorted) order.
+// Facts returns all facts in deterministic (sorted) order. The
+// returned slice is memoized and must not be modified.
 func (db *Instance) Facts() []Fact {
+	c := db.snapshot()
+	if c.facts != nil {
+		return c.facts
+	}
 	out := make([]Fact, 0, len(db.facts))
 	for f := range db.facts {
 		out = append(out, f)
@@ -150,16 +193,25 @@ func (db *Instance) Facts() []Fact {
 		}
 		return a.Val < b.Val
 	})
+	c.facts = out
+	db.publish(c)
 	return out
 }
 
-// Adom returns the active domain in sorted order.
+// Adom returns the active domain in sorted order. The returned slice is
+// memoized and must not be modified.
 func (db *Instance) Adom() []string {
+	c := db.snapshot()
+	if c.adom != nil {
+		return c.adom
+	}
 	out := make([]string, 0, len(db.adom))
-	for c := range db.adom {
-		out = append(out, c)
+	for cst := range db.adom {
+		out = append(out, cst)
 	}
 	sort.Strings(out)
+	c.adom = out
+	db.publish(c)
 	return out
 }
 
@@ -169,13 +221,20 @@ func (db *Instance) InAdom(c string) bool {
 	return ok
 }
 
-// Relations returns the relation names occurring in db, sorted.
+// Relations returns the relation names occurring in db, sorted. The
+// returned slice is memoized and must not be modified.
 func (db *Instance) Relations() []string {
+	c := db.snapshot()
+	if c.rels != nil {
+		return c.rels
+	}
 	out := make([]string, 0, len(db.rels))
 	for r := range db.rels {
 		out = append(out, r)
 	}
 	sort.Strings(out)
+	c.rels = out
+	db.publish(c)
 	return out
 }
 
@@ -190,8 +249,13 @@ func (db *Instance) HasBlock(rel, key string) bool {
 	return len(db.blocks[BlockID{rel, key}]) > 0
 }
 
-// Blocks returns all block ids in deterministic order.
+// Blocks returns all block ids in deterministic order. The returned
+// slice is memoized and must not be modified.
 func (db *Instance) Blocks() []BlockID {
+	c := db.snapshot()
+	if c.blocks != nil {
+		return c.blocks
+	}
 	out := make([]BlockID, 0, len(db.blocks))
 	for id := range db.blocks {
 		out = append(out, id)
@@ -202,6 +266,8 @@ func (db *Instance) Blocks() []BlockID {
 		}
 		return out[i].Key < out[j].Key
 	})
+	c.blocks = out
+	db.publish(c)
 	return out
 }
 

@@ -204,23 +204,54 @@ func clamp(x, lo, hi int) int {
 	return x
 }
 
-// IsCertain decides CERTAINTY(q) for a C2 query via the Lemma 14
-// procedure. It returns the decomposition used. An error means no
-// certified decomposition was found (fall back to the fixpoint tier).
-func IsCertain(db *instance.Instance, q words.Word) (bool, *Decomposition, error) {
-	d, err := Decompose(q)
-	if err != nil {
-		return false, nil, err
-	}
-	return certainWith(db, q, d), d, nil
+// Evaluator is the compiled form of the NL tier for one query: the
+// certified loop decomposition together with the precompiled fixpoint
+// machinery for its sub-words (the whole word when the loop is empty,
+// the exit word otherwise). Building an Evaluator pays the Decompose
+// cost — candidate enumeration plus DFA-equivalence certification —
+// exactly once; IsCertain then runs only instance-dependent work. An
+// Evaluator is immutable and safe for concurrent use.
+type Evaluator struct {
+	q words.Word
+	d *Decomposition
+	// whole is the compiled fixpoint machinery for pre·exit, used when
+	// the decomposition has no loop.
+	whole *fixpoint.Compiled
+	// exit is the compiled fixpoint machinery for the exit word, used
+	// by the avoidance predicate when the loop is nonempty.
+	exit *fixpoint.Compiled
 }
 
-// certainWith evaluates "∃c ∈ adom(db): ¬O(c)" for the decomposition.
-func certainWith(db *instance.Instance, q words.Word, d *Decomposition) bool {
-	if len(q) == 0 {
+// NewEvaluator decomposes q (ErrNotC2 / ErrNoCertifiedDecomposition on
+// failure) and precompiles the sub-solvers.
+func NewEvaluator(q words.Word) (*Evaluator, error) {
+	d, err := Decompose(q)
+	if err != nil {
+		return nil, err
+	}
+	return newEvaluator(q, d), nil
+}
+
+func newEvaluator(q words.Word, d *Decomposition) *Evaluator {
+	e := &Evaluator{q: q.Clone(), d: d}
+	if d.Loop.IsEmpty() {
+		e.whole = fixpoint.Compile(words.Concat(d.Pre, d.Exit))
+	} else if !d.Exit.IsEmpty() {
+		e.exit = fixpoint.Compile(d.Exit)
+	}
+	return e
+}
+
+// Decomposition returns the certified decomposition the evaluator runs.
+func (e *Evaluator) Decomposition() *Decomposition { return e.d }
+
+// IsCertain decides CERTAINTY(q) on db with the precompiled machinery,
+// evaluating "∃c ∈ adom(db): ¬O(c)".
+func (e *Evaluator) IsCertain(db *instance.Instance) bool {
+	if len(e.q) == 0 {
 		return true
 	}
-	o := ComputeO(db, d)
+	o := e.computeO(db)
 	for _, c := range db.Adom() {
 		if !o[c] {
 			return true
@@ -229,10 +260,31 @@ func certainWith(db *instance.Instance, q words.Word, d *Decomposition) bool {
 	return false
 }
 
+// IsCertain decides CERTAINTY(q) for a C2 query via the Lemma 14
+// procedure. It returns the decomposition used. An error means no
+// certified decomposition was found (fall back to the fixpoint tier).
+func IsCertain(db *instance.Instance, q words.Word) (bool, *Decomposition, error) {
+	e, err := NewEvaluator(q)
+	if err != nil {
+		return false, nil, err
+	}
+	return e.IsCertain(db), e.d, nil
+}
+
 // ComputeO computes the predicate O of Lemma 14 for every constant:
 // db ⊨ O(c) iff some repair of db contains no path starting at c whose
 // trace is in the certified language pre (loop)* exitLang (Claim 4).
 func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
+	return newEvaluator(d.queryWord(), d).computeO(db)
+}
+
+// queryWord reconstructs the query word the decomposition covers (only
+// the sub-words matter to the evaluator, so pre·exit suffices for the
+// loop-free forms and pre/exit individually otherwise).
+func (d *Decomposition) queryWord() words.Word { return words.Concat(d.Pre, d.Exit) }
+
+func (e *Evaluator) computeO(db *instance.Instance) map[string]bool {
+	d := e.d
 	adom := db.Adom()
 	o := make(map[string]bool, len(adom))
 
@@ -240,15 +292,14 @@ func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
 		// Pure word (sjf or loop-free exit): O(c) = c terminal for the
 		// whole word, equivalently ¬(every repair has an accepted path
 		// from c), computed by the fixpoint sub-solver on the word.
-		whole := words.Concat(d.Pre, d.Exit)
-		res := fixpoint.Solve(db, whole)
+		res := e.whole.Solve(db)
 		for _, c := range adom {
 			o[c] = !res.Has(c, 0)
 		}
 		return o
 	}
 
-	avoid := avoidExit(db, d)
+	avoid := e.avoidExit(db)
 	// terminal-for-loop vertices (condition (iii)); loop is
 	// self-join-free, so the Lemma 12 DP is exact.
 	loopTerminal := fo.TerminalSet(db, d.Loop)
@@ -264,9 +315,9 @@ func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
 		if loopTerminal[c] {
 			targets[c] = true
 		}
-		for e := range db.WalkEnds(c, d.Loop) {
-			if avoid[e] {
-				adj[c] = append(adj[c], e)
+		for end := range db.WalkEnds(c, d.Loop) {
+			if avoid[end] {
+				adj[c] = append(adj[c], end)
 			}
 		}
 	}
@@ -327,12 +378,12 @@ func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
 // start sets for all constants simultaneously), this is the complement
 // of the fixpoint relation ⟨d, ε⟩ for the exit word. An empty exit
 // cannot be avoided.
-func avoidExit(db *instance.Instance, d *Decomposition) map[string]bool {
+func (e *Evaluator) avoidExit(db *instance.Instance) map[string]bool {
 	out := make(map[string]bool)
-	if d.Exit.IsEmpty() {
+	if e.exit == nil {
 		return out
 	}
-	res := fixpoint.Solve(db, d.Exit)
+	res := e.exit.Solve(db)
 	for _, c := range db.Adom() {
 		out[c] = !res.Has(c, 0)
 	}

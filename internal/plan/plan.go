@@ -1,0 +1,284 @@
+// Package plan compiles path queries into immutable execution plans.
+//
+// The tetrachotomy of the paper makes classification polynomial in |q|,
+// but classification — and the tier-specific machinery behind each
+// solver — is still wasted work when the same query is evaluated over
+// many instances. Compile runs the classification of Theorem 3 once and
+// precomputes the artifacts of the dispatched tier:
+//
+//   - FO (condition C1): the consistent first-order rewriting of
+//     Lemma 13;
+//   - NL (condition C2): the certified loop decomposition of
+//     Section 6.3 together with the compiled fixpoint sub-solvers for
+//     its sub-words (nl.Evaluator);
+//   - PTIME (condition C3): the Figure 5 fixpoint machinery — NFA(q)
+//     and its backward ε-transition table (fixpoint.Compiled);
+//   - coNP: nothing query-side (the SAT encoding is instance-bound).
+//
+// Artifacts for non-default tiers (a forced method, or the fixpoint
+// fallback when no certified NL decomposition exists) are compiled
+// lazily and memoized. A Plan is immutable after Compile and safe for
+// concurrent use by any number of goroutines, which is what makes the
+// cqa.Engine plan cache and its concurrent batch evaluator sound.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cqa/internal/classify"
+	"cqa/internal/conp"
+	"cqa/internal/fixpoint"
+	"cqa/internal/fo"
+	"cqa/internal/instance"
+	"cqa/internal/nl"
+	"cqa/internal/repairs"
+	"cqa/internal/words"
+)
+
+// Method identifies the solver tier used for a decision.
+type Method string
+
+// Solver tiers.
+const (
+	MethodFO         Method = "fo-rewriting"
+	MethodNL         Method = "nl-loop"
+	MethodFixpoint   Method = "ptime-fixpoint"
+	MethodSAT        Method = "conp-sat"
+	MethodExhaustive Method = "exhaustive"
+)
+
+// ErrUnsoundMethod is returned when a forced method does not cover the
+// query's complexity class.
+var ErrUnsoundMethod = errors.New("cqa: forced method is unsound for this query class")
+
+// Result is the outcome of a certainty decision.
+type Result struct {
+	Certain bool
+	Class   classify.Class
+	Method  Method
+	// Witness is a constant c such that every repair has a q-path
+	// starting at c (set on yes-instances decided by the fixpoint
+	// tier).
+	Witness string
+	// Counterexample is a repair falsifying q (set on no-instances
+	// where the tier produces one).
+	Counterexample *instance.Instance
+	// Note carries diagnostic detail, e.g. the NL decomposition or a
+	// fallback reason.
+	Note string
+	// Err is set instead of a decision on requests that could not be
+	// evaluated: an unsound forced method, or a batch item abandoned
+	// because its context was cancelled.
+	Err error
+}
+
+// Options tunes Execute.
+type Options struct {
+	// Force selects a specific tier instead of dispatching on the
+	// class. Forcing a tier that is unsound for the query's class
+	// (e.g. FO rewriting for a coNP query) returns an error.
+	Force Method
+	// WantCounterexample asks for a counterexample repair on
+	// no-instances even when the chosen tier does not produce one as a
+	// byproduct.
+	WantCounterexample bool
+}
+
+// Plan is the compiled form of CERTAINTY(q) for one path query q:
+// classification plus the precomputed tier artifacts. Plans are
+// immutable and safe for concurrent use.
+type Plan struct {
+	word   words.Word
+	report classify.Report
+	method Method // default dispatch tier
+
+	// foFormula is the Lemma 13 rewriting ∃x ψ(x), set iff the class
+	// is FO.
+	foFormula fo.Formula
+
+	// nlEval is the compiled NL evaluator; nlErr records why it is
+	// unavailable (not C2, or no certified decomposition → fixpoint
+	// fallback). Lazily built unless NL is the default tier.
+	nlOnce sync.Once
+	nlEval *nl.Evaluator
+	nlErr  error
+
+	// fp is the compiled Figure 5 machinery, shared by the PTIME tier,
+	// the NL fallback, and forced ptime-fixpoint runs. Lazily built
+	// unless it is the default tier.
+	fpOnce sync.Once
+	fp     *fixpoint.Compiled
+}
+
+// Compile classifies q and precomputes the artifacts of its default
+// solver tier.
+func Compile(w words.Word) *Plan {
+	p := &Plan{word: w.Clone(), report: classify.Explain(w)}
+	switch p.report.Class {
+	case classify.FO:
+		p.method = MethodFO
+		p.foFormula = fo.RewriteCertain(p.word)
+	case classify.NL:
+		p.method = MethodNL
+		if _, err := p.evaluator(); err != nil {
+			// No certified decomposition: the plan's real tier is the
+			// fixpoint fallback, so compile it now.
+			p.fixpoint()
+		}
+	case classify.PTime:
+		p.method = MethodFixpoint
+		p.fixpoint()
+	default:
+		p.method = MethodSAT
+	}
+	return p
+}
+
+// Word returns the compiled query word.
+func (p *Plan) Word() words.Word { return p.word.Clone() }
+
+// Class returns the complexity class of CERTAINTY(q).
+func (p *Plan) Class() classify.Class { return p.report.Class }
+
+// Report returns the full classification report computed at compile
+// time.
+func (p *Plan) Report() classify.Report { return p.report }
+
+// Method returns the solver tier the plan effectively dispatches to.
+// For an NL-class query with no certified decomposition this is the
+// fixpoint fallback, matching the Method field of the Results the plan
+// produces.
+func (p *Plan) Method() Method {
+	if p.method == MethodNL {
+		if _, err := p.evaluator(); err != nil {
+			return MethodFixpoint
+		}
+	}
+	return p.method
+}
+
+// Rewriting returns the consistent first-order rewriting of Lemma 13 as
+// a formula string; ok is false unless CERTAINTY(q) is in FO.
+func (p *Plan) Rewriting() (string, bool) {
+	if p.foFormula == nil {
+		return "", false
+	}
+	return p.foFormula.String(), true
+}
+
+// Decomposition returns the certified NL loop decomposition as a
+// diagnostic string; ok is false when the plan has none (wrong class,
+// or fixpoint fallback).
+func (p *Plan) Decomposition() (string, bool) {
+	eval, err := p.evaluator()
+	if err != nil {
+		return "", false
+	}
+	return eval.Decomposition().String(), true
+}
+
+// evaluator memoizes the compiled NL evaluator.
+func (p *Plan) evaluator() (*nl.Evaluator, error) {
+	p.nlOnce.Do(func() {
+		p.nlEval, p.nlErr = nl.NewEvaluator(p.word)
+	})
+	return p.nlEval, p.nlErr
+}
+
+// fixpoint memoizes the compiled Figure 5 machinery.
+func (p *Plan) fixpoint() *fixpoint.Compiled {
+	p.fpOnce.Do(func() {
+		p.fp = fixpoint.Compile(p.word)
+	})
+	return p.fp
+}
+
+// Certain decides CERTAINTY(q) on db with automatic tier dispatch.
+func (p *Plan) Certain(db *instance.Instance) Result {
+	r, err := p.Execute(db, Options{})
+	if err != nil {
+		// Automatic dispatch never errors.
+		panic("cqa: internal: " + err.Error())
+	}
+	return r
+}
+
+// Execute decides CERTAINTY(q) on db with explicit options, reusing the
+// compiled artifacts.
+func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
+	res := Result{Class: p.report.Class}
+
+	method := opts.Force
+	if method == "" {
+		method = p.method
+	} else if !sound(method, p.report.Class) {
+		return res, fmt.Errorf("%w: %s for %v query %v", ErrUnsoundMethod, method, p.report.Class, p.word)
+	}
+
+	switch method {
+	case MethodFO:
+		res.Method = MethodFO
+		res.Certain = fo.IsCertainFO(db, p.word)
+	case MethodNL:
+		eval, err := p.evaluator()
+		if err != nil {
+			// Certified decomposition unavailable: fall back to the
+			// fixpoint tier (correct for all C3 ⊇ C2 queries).
+			fp := p.fixpoint().Solve(db)
+			res.Method = MethodFixpoint
+			res.Certain = fp.Certain
+			res.Note = "nl fallback: " + err.Error()
+			if fp.Certain && len(fp.Starts) > 0 {
+				res.Witness = fp.Starts[0]
+			}
+			break
+		}
+		res.Method = MethodNL
+		res.Certain = eval.IsCertain(db)
+		res.Note = eval.Decomposition().String()
+	case MethodFixpoint:
+		fp := p.fixpoint().Solve(db)
+		res.Method = MethodFixpoint
+		res.Certain = fp.Certain
+		if fp.Certain && len(fp.Starts) > 0 {
+			res.Witness = fp.Starts[0]
+		} else if !fp.Certain {
+			res.Counterexample = fixpoint.CounterexampleRepair(db, p.word, fp)
+		}
+	case MethodSAT:
+		out := conp.IsCertain(db, p.word)
+		res.Method = MethodSAT
+		res.Certain = out.Certain
+		res.Counterexample = out.Counterexample
+	case MethodExhaustive:
+		res.Method = MethodExhaustive
+		res.Certain = repairs.IsCertain(db, p.word)
+		if !res.Certain {
+			res.Counterexample = repairs.Counterexample(db, p.word)
+		}
+	default:
+		return res, fmt.Errorf("cqa: unknown method %q", method)
+	}
+
+	if opts.WantCounterexample && !res.Certain && res.Counterexample == nil {
+		res.Counterexample = conp.IsCertain(db, p.word).Counterexample
+	}
+	return res, nil
+}
+
+// sound reports whether a tier decides queries of the given class.
+func sound(m Method, cls classify.Class) bool {
+	switch m {
+	case MethodFO:
+		return cls == classify.FO
+	case MethodNL:
+		return cls == classify.FO || cls == classify.NL
+	case MethodFixpoint:
+		return cls != classify.CoNP
+	case MethodSAT, MethodExhaustive:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cqa/internal/classify"
+	"cqa/internal/instance"
+	"cqa/internal/repairs"
+	"cqa/internal/words"
+)
+
+func TestCompileSelectsTier(t *testing.T) {
+	cases := []struct {
+		q      string
+		class  classify.Class
+		method Method
+	}{
+		{"RXRX", classify.FO, MethodFO},
+		{"RRX", classify.NL, MethodNL},
+		{"RXRYRY", classify.PTime, MethodFixpoint},
+		{"ARRX", classify.CoNP, MethodSAT},
+	}
+	for _, c := range cases {
+		p := Compile(words.MustParse(c.q))
+		if p.Class() != c.class || p.Method() != c.method {
+			t.Errorf("Compile(%s): class=%v method=%v, want %v/%v", c.q, p.Class(), p.Method(), c.class, c.method)
+		}
+		if _, ok := p.Rewriting(); ok != (c.class == classify.FO) {
+			t.Errorf("Compile(%s): Rewriting availability = %v", c.q, ok)
+		}
+	}
+}
+
+func TestPlanExecuteMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, qs := range []string{"RXRX", "RRX", "RXRYRY", "ARRX"} {
+		q := words.MustParse(qs)
+		p := Compile(q)
+		for it := 0; it < 50; it++ {
+			db := instance.New()
+			n := 1 + rng.Intn(8)
+			for i := 0; i < n; i++ {
+				rel := []string{"R", "X", "Y", "A"}[rng.Intn(4)]
+				db.AddFact(rel, string(rune('a'+rng.Intn(4))), string(rune('a'+rng.Intn(4))))
+			}
+			got := p.Certain(db)
+			if want := repairs.IsCertain(db, q); got.Certain != want {
+				t.Fatalf("q=%s it=%d db=%s: plan=%v exhaustive=%v", qs, it, db, got.Certain, want)
+			}
+		}
+	}
+}
+
+func TestPlanForcedMethods(t *testing.T) {
+	db := instance.MustParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	p := Compile(words.MustParse("RRX"))
+
+	// Fixpoint is lazily compiled for a forced run on an NL-class plan.
+	res, err := p.Execute(db, Options{Force: MethodFixpoint})
+	if err != nil || !res.Certain || res.Method != MethodFixpoint {
+		t.Errorf("forced fixpoint: res=%+v err=%v", res, err)
+	}
+	if res.Witness != "0" {
+		t.Errorf("forced fixpoint witness = %q, want 0", res.Witness)
+	}
+
+	// Unsound force errors with ErrUnsoundMethod.
+	conp := Compile(words.MustParse("ARRX"))
+	if _, err := conp.Execute(db, Options{Force: MethodFO}); !errors.Is(err, ErrUnsoundMethod) {
+		t.Errorf("unsound force: err=%v", err)
+	}
+
+	// Unknown method errors.
+	if _, err := p.Execute(db, Options{Force: Method("bogus")}); err == nil {
+		t.Error("unknown method must error")
+	}
+}
+
+func TestPlanDecomposition(t *testing.T) {
+	p := Compile(words.MustParse("RRX"))
+	if d, ok := p.Decomposition(); !ok || d == "" {
+		t.Errorf("NL plan decomposition: %q, %v", d, ok)
+	}
+	if _, ok := Compile(words.MustParse("ARRX")).Decomposition(); ok {
+		t.Error("coNP plan must not report a decomposition")
+	}
+}
+
+// TestPlanConcurrentUse shares one plan across goroutines, including the
+// lazily compiled artifacts (run with -race).
+func TestPlanConcurrentUse(t *testing.T) {
+	db := instance.MustParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	p := Compile(words.MustParse("RRX"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if res := p.Certain(db); !res.Certain {
+					t.Error("plan flipped its decision under concurrency")
+					return
+				}
+				if res, err := p.Execute(db, Options{Force: MethodFixpoint}); err != nil || !res.Certain {
+					t.Errorf("forced fixpoint under concurrency: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
