@@ -98,6 +98,24 @@ func BenchmarkTierFixpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkTierFixpointCompiled: the same workload as
+// BenchmarkTierFixpoint through one compiled query, isolating the
+// interned per-(plan, instance) binding memo — per call only the
+// slice-indexed worklist runs.
+func BenchmarkTierFixpointCompiled(b *testing.B) {
+	q := words.MustParse("RXRYRY")
+	cp := fixpoint.Compile(q)
+	for _, size := range benchSizes {
+		db := benchInstance(size)
+		cp.Solve(db) // bind the interned transition tables once
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cp.Solve(db)
+			}
+		})
+	}
+}
+
 // BenchmarkTierSAT: the CDCL tier on coNP-class query ARRX.
 func BenchmarkTierSAT(b *testing.B) {
 	q := words.MustParse("ARRX")

@@ -1,0 +1,241 @@
+// Command benchgate gates CI on benchmark regressions: it parses
+// `go test -bench` output, aggregates repeated runs (-count N) by
+// taking the fastest ns/op per benchmark, compares against a
+// checked-in baseline, and exits nonzero when any gated benchmark
+// regressed by more than the threshold. It also writes a JSON report
+// (the CI workflow uploads it as an artifact), so every run leaves a
+// machine-readable record of the measured numbers next to the
+// baseline they were judged against.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkEngineReuse' -count 5 . | tee bench.txt
+//	go run ./cmd/benchgate -baseline .github/bench-baseline.json -out BENCH_pr2.json bench.txt
+//
+// Refresh the baseline after an intentional performance change (or a
+// CI hardware change) with -update, which rewrites the baseline file
+// from the measured numbers instead of gating:
+//
+//	go run ./cmd/benchgate -baseline .github/bench-baseline.json -update bench.txt
+//
+// Only benchmarks named in the baseline are gated; extra measured
+// benchmarks are reported informationally, and a baseline entry that
+// the run did not produce is an error (a silently skipped gate would
+// otherwise pass forever).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineReuse/RXRYRY/facts=20-4   20038   12608 ns/op
+//
+// The trailing -N (GOMAXPROCS) is stripped; it is omitted entirely
+// when GOMAXPROCS=1, so it is optional.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// Baseline is the checked-in reference: fastest observed ns/op per
+// gated benchmark, plus a note describing the hardware it was
+// measured on.
+type Baseline struct {
+	Note    string             `json:"note,omitempty"`
+	CPU     string             `json:"cpu,omitempty"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// Report is the JSON artifact written by -out.
+type Report struct {
+	CPU         string                 `json:"cpu,omitempty"`
+	Threshold   float64                `json:"threshold"`
+	Pass        bool                   `json:"pass"`
+	Results     map[string]BenchResult `json:"results"`
+	Regressions []string               `json:"regressions,omitempty"`
+	Ungated     map[string]float64     `json:"ungated,omitempty"`
+}
+
+// BenchResult is one gated benchmark in the report.
+type BenchResult struct {
+	NsPerOp  float64 `json:"ns_per_op"`
+	Baseline float64 `json:"baseline_ns_per_op"`
+	Ratio    float64 `json:"ratio"`
+}
+
+func main() {
+	basePath := flag.String("baseline", ".github/bench-baseline.json", "checked-in baseline JSON")
+	outPath := flag.String("out", "", "write a JSON report of the comparison")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured numbers instead of gating")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] bench.txt...")
+		os.Exit(2)
+	}
+	measured, cpu, err := parseFiles(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results found in input")
+		os.Exit(2)
+	}
+
+	if *update {
+		// Merge into an existing baseline rather than replacing it: a
+		// partial benchmark run must not silently drop the other gated
+		// benchmarks from coverage.
+		next := Baseline{
+			Note:    "fastest ns/op per gated benchmark; refresh with: go run ./cmd/benchgate -update (see cmd/benchgate)",
+			CPU:     cpu,
+			NsPerOp: measured,
+		}
+		if raw, err := os.ReadFile(*basePath); err == nil {
+			var prev Baseline
+			if err := json.Unmarshal(raw, &prev); err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *basePath, err)
+				os.Exit(2)
+			}
+			kept := 0
+			for name, ns := range prev.NsPerOp {
+				if _, ok := next.NsPerOp[name]; !ok {
+					next.NsPerOp[name] = ns
+					kept++
+				}
+			}
+			if kept > 0 {
+				fmt.Printf("benchgate: kept %d baseline benchmarks not present in this run\n", kept)
+			}
+		}
+		if err := writeJSON(*basePath, next); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s updated with %d benchmarks\n", *basePath, len(measured))
+		return
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+	if base.CPU != "" && cpu != "" && base.CPU != cpu {
+		// Absolute ns/op across different CPUs is apples-to-oranges;
+		// the gate still runs (per policy), but make the mismatch loud
+		// so a hardware-induced failure is diagnosable at a glance.
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING: baseline cpu %q != measured cpu %q; refresh the baseline with -update if the runner hardware changed\n",
+			base.CPU, cpu)
+	}
+
+	report := Report{
+		CPU:       cpu,
+		Threshold: *threshold,
+		Pass:      true,
+		Results:   make(map[string]BenchResult),
+		Ungated:   make(map[string]float64),
+	}
+	var names []string
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		baseNs := base.NsPerOp[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline benchmark %q was not run\n", name)
+			report.Pass = false
+			report.Regressions = append(report.Regressions, name+" (not run)")
+			continue
+		}
+		ratio := got / baseNs
+		report.Results[name] = BenchResult{NsPerOp: got, Baseline: baseNs, Ratio: ratio}
+		status := "ok"
+		if ratio > 1+*threshold {
+			status = fmt.Sprintf("REGRESSION (>%.0f%%)", *threshold*100)
+			report.Pass = false
+			report.Regressions = append(report.Regressions, name)
+		}
+		fmt.Printf("%-55s %12.1f ns/op  baseline %12.1f  ratio %5.2f  %s\n",
+			name, got, baseNs, ratio, status)
+	}
+	for name, got := range measured {
+		if _, gated := base.NsPerOp[name]; !gated {
+			report.Ungated[name] = got
+		}
+	}
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if !report.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", strings.Join(report.Regressions, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: PASS (%d gated benchmarks within +%.0f%% of baseline)\n",
+		len(report.Results), *threshold*100)
+}
+
+// parseFiles extracts the fastest ns/op per benchmark name across all
+// given `go test -bench` output files, plus the reported cpu model.
+func parseFiles(paths []string) (map[string]float64, string, error) {
+	out := make(map[string]float64)
+	var cpu string
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+				cpu = strings.TrimSpace(rest)
+				continue
+			}
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			if prev, ok := out[m[1]]; !ok || ns < prev {
+				out[m[1]] = ns
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	return out, cpu, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -33,6 +33,19 @@
 // Figure 5 fixpoint tables — so only instance-dependent work remains
 // per call (see internal/plan). Plans are immutable; one plan may serve
 // any number of goroutines concurrently.
+//
+// # Interned evaluation
+//
+// The fixpoint tiers evaluate on the instance's interned view
+// (Instance.Interned): the active domain and relation names are
+// interned to dense integer ids once per instance state, and the
+// Figure 5 solver runs entirely on slice-indexed state. On top of the
+// interned view, each compiled plan memoizes its instance-bound
+// transition tables per (plan, instance) pair, keyed by the interned
+// snapshot pointer. Mutating an instance publishes a fresh snapshot,
+// so stale tables are unreachable by construction — serving workloads
+// that re-query the same instance pay the table build once and then
+// only the worklist iteration per call.
 package cqa
 
 import (

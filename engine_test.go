@@ -238,3 +238,64 @@ func TestDefaultEngineBacksFacade(t *testing.T) {
 		t.Errorf("facade calls must go through the default engine: before=%+v after=%+v", before, after)
 	}
 }
+
+// TestInternedBindingInvalidation is the serving-path staleness check:
+// a compiled plan memoizes its interned transition tables per instance
+// snapshot, and a mutation of the instance must make the engine see the
+// new state — the stale snapshot is unreachable because mutation
+// publishes a fresh interned view.
+func TestInternedBindingInvalidation(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	q := MustParseQuery("RXRYRY") // PTIME tier: interned fixpoint solver
+	db := NewInstance()
+	db.AddFact("R", "a", "b")
+
+	res := eng.Certain(q, db)
+	if res.Method != MethodFixpoint || res.Certain {
+		t.Fatalf("lone R fact: res=%+v", res)
+	}
+	iv1 := db.Interned()
+
+	// Grow the instance into a yes-instance of CERTAINTY(RXRYRY):
+	// a consistent path a->b->c->d->e->f->g through R,X,R,Y,R,Y... use
+	// exactly the query's relations.
+	for i, rel := range []string{"X", "R", "Y", "R", "Y"} {
+		db.AddFact(rel, string(rune('b'+i)), string(rune('c'+i)))
+	}
+	if db.Interned() == iv1 {
+		t.Fatal("mutation did not publish a fresh interned snapshot")
+	}
+	res = eng.Certain(q, db)
+	if !res.Certain {
+		t.Fatalf("consistent full path must be certain: %+v", res)
+	}
+
+	// Mutate again (introduce a conflict that breaks certainty) and hit
+	// the same plan concurrently: all readers must agree on the new
+	// state. Run with -race in CI.
+	db.AddFact("X", "b", "zz") // conflicting block X(b,*): repair may pick zz
+	want := eng.Certain(q, db).Certain
+	if want {
+		t.Fatal("conflicting X(b,*) block should break certainty")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if eng.Certain(q, db).Certain != want {
+					t.Error("stale result after mutation")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The old snapshot still answers for its own state: results bound
+	// to iv1 were not mutated in place.
+	if iv1.NumFacts() != 1 {
+		t.Errorf("old interned snapshot mutated: %d facts", iv1.NumFacts())
+	}
+}

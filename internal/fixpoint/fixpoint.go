@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cqa/internal/automata"
 	"cqa/internal/instance"
@@ -34,26 +35,82 @@ type Pair struct {
 	U int
 }
 
-// Result is the output of the fixpoint computation.
+// Result is the output of the fixpoint computation. The relation N is
+// stored interned (a bitset over constant-id × prefix-length pairs);
+// Has, Pairs and NMap translate back to the string world.
 type Result struct {
 	Query words.Word
-	// N[c] is the set of prefix lengths u with ⟨c, u⟩ ∈ N.
-	N map[string]map[int]bool
 	// Certain reports whether some ⟨c, ε⟩ ∈ N, which by Lemma 7 and
 	// Corollary 1 decides CERTAINTY(q) when q satisfies C3.
 	Certain bool
 	// Starts is the set of constants c with ⟨c, ε⟩ ∈ N: the constants
-	// that start an accepted path in every repair (Corollary 1).
+	// that start an accepted path in every repair (Corollary 1), in
+	// sorted order.
 	Starts []string
+
+	iv   *instance.Interned
+	nq   int    // len(Query)
+	bits bitset // ⟨c, u⟩ ∈ N at bit c*(nq+1)+u
 }
 
 // Has reports whether ⟨c, u⟩ ∈ N.
-func (r *Result) Has(c string, u int) bool { return r.N[c][u] }
+func (r *Result) Has(c string, u int) bool {
+	if u < 0 || u > r.nq || r.iv == nil {
+		return false
+	}
+	id, ok := r.iv.ConstID(c)
+	if !ok {
+		return false
+	}
+	return r.bits.test(int(id)*(r.nq+1) + u)
+}
+
+// Pairs returns N as an explicit pair list, sorted by interned constant
+// id (equivalently, by constant name) and then by prefix length.
+func (r *Result) Pairs() []Pair {
+	if r.iv == nil {
+		return nil
+	}
+	stride := r.nq + 1
+	var out []Pair
+	for c := 0; c < r.iv.NumConsts(); c++ {
+		for u := 0; u < stride; u++ {
+			if r.bits.test(c*stride + u) {
+				out = append(out, Pair{C: r.iv.Const(int32(c)), U: u})
+			}
+		}
+	}
+	return out
+}
+
+// NMap materializes N in the map form used before interning:
+// NMap()[c][u] reports ⟨c, u⟩ ∈ N. Intended for tests and diagnostics,
+// not hot paths.
+func (r *Result) NMap() map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, p := range r.Pairs() {
+		if out[p.C] == nil {
+			out[p.C] = make(map[int]bool)
+		}
+		out[p.C][p.U] = true
+	}
+	return out
+}
+
+// bitset is a fixed-size dense bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset     { return make(bitset, (n+63)>>6) }
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)       { b[i>>6] |= 1 << (uint(i) & 63) }
 
 // Compiled is the query-dependent machinery of the Figure 5 algorithm,
 // precomputed once per query so that repeated Solve calls over many
 // instances skip rebuilding NFA(q) and its backward ε-transition table.
-// A Compiled value is immutable and safe for concurrent use.
+// A Compiled value is safe for concurrent use; it additionally memoizes
+// the instance-side transition tables per interned instance snapshot
+// (see binding), realizing a per-(query, instance) memo whose
+// invalidation is the instance mutation itself.
 type Compiled struct {
 	q   words.Word
 	nfa *automata.NFA
@@ -62,6 +119,128 @@ type Compiled struct {
 	backSources [][]int
 	// positions[rel] lists the prefix lengths u with q[u] == rel.
 	positions map[string][]int
+
+	// bindings memoizes instance-bound tables keyed by the interned
+	// snapshot pointer: a mutation of the instance publishes a fresh
+	// *Interned, so a stale binding can never be looked up again.
+	// Entries carry a sync.Once so concurrent first Solves on a fresh
+	// snapshot build the tables exactly once, without holding mu.
+	mu       sync.Mutex
+	bindings map[*instance.Interned]*bindingEntry
+}
+
+// bindingEntry builds its binding at most once; concurrent binds for
+// the same snapshot block on the entry, not on the whole Compiled.
+type bindingEntry struct {
+	once sync.Once
+	b    *binding
+}
+
+// maxBindings bounds the per-query binding memo so that compiled plans
+// retained in an engine cache do not pin an unbounded number of old
+// instance snapshots.
+const maxBindings = 16
+
+// binding is the instance-side half of the Figure 5 machinery for one
+// (compiled query, interned instance snapshot) pair: one block state
+// per (position v, block of relation q[v]) pair, plus a CSR index from
+// (position, successor constant) to the block states it decrements.
+// A binding is immutable after construction; per-Solve mutable state
+// (the pending counters and the bitset) is copied out per call, so one
+// binding serves any number of concurrent Solve calls.
+type binding struct {
+	nc int // number of interned constants
+	// blockKey[i] is the key constant id of block state i;
+	// pendingInit[i] its initial successor counter (block size).
+	blockKey    []int32
+	pendingInit []int32
+	// refList[refStart[v*nc+c]:refStart[v*nc+c+1]] lists the block
+	// states at position v whose block contains value c.
+	refStart []int32
+	refList  []int32
+}
+
+// bind returns the memoized binding for iv, building it on first use.
+func (cp *Compiled) bind(iv *instance.Interned) *binding {
+	cp.mu.Lock()
+	e, ok := cp.bindings[iv]
+	if !ok {
+		if cp.bindings == nil {
+			cp.bindings = make(map[*instance.Interned]*bindingEntry)
+		}
+		if len(cp.bindings) >= maxBindings {
+			for k := range cp.bindings {
+				delete(cp.bindings, k)
+				break
+			}
+		}
+		e = &bindingEntry{}
+		cp.bindings[iv] = e
+	}
+	cp.mu.Unlock()
+	// Build outside the lock: a large instance must not serialize
+	// Solves over other instances. Evicted entries remain usable by
+	// holders.
+	e.once.Do(func() { e.b = cp.buildBinding(iv) })
+	return e.b
+}
+
+// buildBinding constructs the interned transition tables for iv.
+func (cp *Compiled) buildBinding(iv *instance.Interned) *binding {
+	n := len(cp.q)
+	nc := iv.NumConsts()
+	b := &binding{nc: nc}
+	// First pass: count refs per (position, value constant) cell and
+	// block states per position.
+	counts := make([]int32, n*nc+1)
+	total := 0
+	nblocks := 0
+	for v := 0; v < n; v++ {
+		rid, ok := iv.RelID(cp.q[v])
+		if !ok {
+			continue
+		}
+		row := v * nc
+		for _, bl := range iv.RelBlocks(rid) {
+			nblocks++
+			total += len(bl.Vals)
+			for _, val := range bl.Vals {
+				counts[row+int(val)]++
+			}
+		}
+	}
+	b.blockKey = make([]int32, 0, nblocks)
+	b.pendingInit = make([]int32, 0, nblocks)
+	b.refStart = make([]int32, n*nc+1)
+	var sum int32
+	for i, c := range counts[:n*nc] {
+		b.refStart[i] = sum
+		sum += c
+	}
+	b.refStart[n*nc] = sum
+	b.refList = make([]int32, total)
+	// Second pass: assign block-state indices and fill the CSR lists,
+	// reusing counts as per-cell fill cursors.
+	next := counts
+	copy(next, b.refStart)
+	for v := 0; v < n; v++ {
+		rid, ok := iv.RelID(cp.q[v])
+		if !ok {
+			continue
+		}
+		row := v * nc
+		for _, bl := range iv.RelBlocks(rid) {
+			bs := int32(len(b.blockKey))
+			b.blockKey = append(b.blockKey, bl.Key)
+			b.pendingInit = append(b.pendingInit, int32(len(bl.Vals)))
+			for _, val := range bl.Vals {
+				cell := row + int(val)
+				b.refList[next[cell]] = bs
+				next[cell]++
+			}
+		}
+	}
+	return b
 }
 
 // Compile precomputes the query-side artifacts of the fixpoint
@@ -97,67 +276,43 @@ func Solve(db *instance.Instance, q words.Word) *Result {
 }
 
 // Solve runs the worklist algorithm on db with the precompiled query
-// machinery.
+// machinery. The entire fixpoint iteration runs on interned state: the
+// relation N is a bitset indexed by constID*(|q|+1)+u, the worklist
+// carries packed int pairs, and the Iterative Rule walks the binding's
+// CSR successor index — no string hashing or per-pair allocation.
 func (cp *Compiled) Solve(db *instance.Instance) *Result {
-	q := cp.q
-	n := len(q)
-	adom := db.Adom()
-	res := &Result{Query: q.Clone(), N: make(map[string]map[int]bool, len(adom))}
+	iv := db.Interned()
+	n := len(cp.q)
+	nc := iv.NumConsts()
+	res := &Result{Query: cp.q.Clone(), iv: iv, nq: n}
 	if n == 0 {
 		res.Certain = true // empty query: trivially certain
-		for _, c := range adom {
-			res.N[c] = map[int]bool{0: true}
-			res.Starts = append(res.Starts, c)
+		res.bits = newBitset(nc)
+		for c := 0; c < nc; c++ {
+			res.bits.set(c)
 		}
+		res.Starts = append(res.Starts, iv.Consts()...)
 		return res
 	}
 
-	// pending[u] lists, for prefix length u (0..n-1) with next relation
-	// R = q[u], the blocks R(c,*): counters of successors y not yet
-	// known to satisfy ⟨y, u+1⟩.
-	type blockState struct {
-		c       string
-		pending int
-		done    bool
-	}
-	// For each u, index block states by key constant.
-	states := make([]map[string]*blockState, n)
-	// succIndex[rel][y] lists (u, key) pairs that decrement when
-	// ⟨y, u+1⟩ is derived... we index by value constant.
-	type ref struct {
-		u   int
-		key string
-	}
-	succ := make(map[string]map[string][]ref) // rel -> val -> refs
-	for _, id := range db.Blocks() {
-		positions := cp.positions[id.Rel]
-		if len(positions) == 0 {
-			continue
-		}
-		if succ[id.Rel] == nil {
-			succ[id.Rel] = make(map[string][]ref)
-		}
-		vals := db.Block(id.Rel, id.Key)
-		for _, u := range positions {
-			if states[u] == nil {
-				states[u] = make(map[string]*blockState)
-			}
-			states[u][id.Key] = &blockState{c: id.Key, pending: len(vals)}
-			for _, v := range vals {
-				succ[id.Rel][v] = append(succ[id.Rel][v], ref{u: u, key: id.Key})
-			}
+	b := cp.bind(iv)
+	stride := n + 1
+	bits := newBitset(nc * stride)
+	// pending[i] counts the successors of block state i not yet known
+	// to satisfy ⟨y, v+1⟩; the binding's counters are copied so the
+	// binding itself stays immutable under concurrent Solve calls.
+	pending := append([]int32(nil), b.pendingInit...)
+	queue := make([]int32, 0, nc)
+	add := func(idx int) {
+		if !bits.test(idx) {
+			bits.set(idx)
+			queue = append(queue, int32(idx))
 		}
 	}
 
-	inN := make(map[Pair]bool)
-	var queue []Pair
-	add := func(c string, u int) {
-		p := Pair{c, u}
-		if inN[p] {
-			return
-		}
-		inN[p] = true
-		queue = append(queue, p)
+	// Initialization step: ⟨c, q⟩ for every c ∈ adom(db).
+	for c := 0; c < nc; c++ {
+		add(c*stride + n)
 	}
 
 	// Backward closure: when ⟨c, u⟩ is derived forward, also add ⟨c, w⟩
@@ -165,54 +320,39 @@ func (cp *Compiled) Solve(db *instance.Instance) *Result {
 	// longer prefix w ending with the same relation name as u.
 	backSources := cp.backSources
 
-	// Initialization step: ⟨c, q⟩ for every c ∈ adom(db).
-	for _, c := range adom {
-		add(c, n)
-	}
-
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
-		if p.U == 0 {
+	for head := 0; head < len(queue); head++ {
+		idx := int(queue[head])
+		u := idx % stride
+		if u == 0 {
 			continue
 		}
-		u := p.U - 1
-		rel := q[u]
-		for _, r := range succ[rel][p.C] {
-			if r.u != u {
-				continue
-			}
-			st := states[u][r.key]
-			st.pending--
-			if st.pending == 0 && !st.done {
-				st.done = true
-				add(st.c, u)
-				for _, w := range backSources[u] {
-					add(st.c, w)
+		v := u - 1
+		c := idx / stride
+		row := v*b.nc + c
+		// Each ref fires at most once: the pair ⟨c, v+1⟩ is dequeued
+		// exactly once and block values are distinct, so pending hits 0
+		// at most once per block state.
+		for _, bs := range b.refList[b.refStart[row]:b.refStart[row+1]] {
+			pending[bs]--
+			if pending[bs] == 0 {
+				base := int(b.blockKey[bs]) * stride
+				add(base + v)
+				for _, w := range backSources[v] {
+					add(base + w)
 				}
 			}
 		}
 	}
 
-	for p := range inN {
-		if res.N[p.C] == nil {
-			res.N[p.C] = make(map[int]bool)
-		}
-		res.N[p.C][p.U] = true
-	}
-	for _, c := range adom {
-		if res.N[c][0] {
+	res.bits = bits
+	for c := 0; c < nc; c++ {
+		if bits.test(c * stride) {
 			res.Certain = true
-			res.Starts = append(res.Starts, c)
+			res.Starts = append(res.Starts, iv.Const(int32(c)))
 		}
 	}
-	sort.Strings(res.Starts)
 	return res
 }
-
-// succ dedup note: a fact R(c,y) contributes one ref per position u with
-// q[u] == R; each ⟨y, u+1⟩ decrements the (u, c) counter exactly once
-// because facts are distinct and refs are walked per derived pair.
 
 // Trace records one round of the naive implementation: the pairs added
 // in that round, mirroring the table of Figure 6.
@@ -224,10 +364,14 @@ type Trace struct {
 // SolveNaive runs the round-based implementation of Figure 5: in each
 // round the Iterative Rule is applied to all pairs derivable from the
 // current N. It returns the result together with the per-round trace
-// (Figure 6 of the paper).
+// (Figure 6 of the paper). Trace rows are deterministic: the pairs
+// added in a round are sorted by interned constant id (the sorted
+// active domain order), then by prefix length, before names are
+// rendered.
 func SolveNaive(db *instance.Instance, q words.Word) (*Result, []Trace) {
 	n := len(q)
-	adom := db.Adom()
+	iv := db.Interned()
+	adom := iv.Consts()
 	inN := make(map[Pair]bool)
 	nfa := automata.New(q)
 	for _, c := range adom {
@@ -272,32 +416,41 @@ func SolveNaive(db *instance.Instance, q words.Word) (*Result, []Trace) {
 			break
 		}
 		sort.Slice(committed, func(i, j int) bool {
-			if committed[i].C != committed[j].C {
-				return committed[i].C < committed[j].C
+			ci, _ := iv.ConstID(committed[i].C)
+			cj, _ := iv.ConstID(committed[j].C)
+			if ci != cj {
+				return ci < cj
 			}
 			return committed[i].U < committed[j].U
 		})
 		traces = append(traces, Trace{Round: round, Added: committed})
 	}
 
-	res := &Result{Query: q.Clone(), N: make(map[string]map[int]bool)}
-	for p := range inN {
-		if res.N[p.C] == nil {
-			res.N[p.C] = make(map[int]bool)
-		}
-		res.N[p.C][p.U] = true
-	}
-	for _, c := range adom {
-		if res.N[c][0] || n == 0 {
-			res.Certain = true
-			res.Starts = append(res.Starts, c)
-		}
-	}
-	sort.Strings(res.Starts)
+	res := resultFromPairs(q, iv, inN)
 	if n == 0 {
 		res.Certain = true
 	}
 	return res, traces
+}
+
+// resultFromPairs packs an explicit pair set into the interned Result
+// representation.
+func resultFromPairs(q words.Word, iv *instance.Interned, inN map[Pair]bool) *Result {
+	n := len(q)
+	stride := n + 1
+	res := &Result{Query: q.Clone(), iv: iv, nq: n, bits: newBitset(iv.NumConsts() * stride)}
+	for p := range inN {
+		if id, ok := iv.ConstID(p.C); ok && p.U >= 0 && p.U <= n {
+			res.bits.set(int(id)*stride + p.U)
+		}
+	}
+	for c := 0; c < iv.NumConsts(); c++ {
+		if res.bits.test(c*stride) || n == 0 {
+			res.Certain = true
+			res.Starts = append(res.Starts, iv.Const(int32(c)))
+		}
+	}
+	return res
 }
 
 // FormatTrace renders the rounds in the style of the Figure 6 table.

@@ -79,17 +79,13 @@ func TestWorklistMatchesNaive(t *testing.T) {
 			if !reflect.DeepEqual(fast.Starts, slow.Starts) {
 				t.Fatalf("it=%d db=%s q=%v: starts %v vs %v", it, db, q, fast.Starts, slow.Starts)
 			}
-			for c, us := range fast.N {
+			if !reflect.DeepEqual(fast.Pairs(), slow.Pairs()) {
+				t.Fatalf("it=%d q=%v: N differs: worklist %v vs naive %v", it, q, fast.Pairs(), slow.Pairs())
+			}
+			for c, us := range fast.NMap() {
 				for u := range us {
 					if !slow.Has(c, u) {
 						t.Fatalf("it=%d q=%v: ⟨%s,%d⟩ only in worklist N", it, q, c, u)
-					}
-				}
-			}
-			for c, us := range slow.N {
-				for u := range us {
-					if !fast.Has(c, u) {
-						t.Fatalf("it=%d q=%v: ⟨%s,%d⟩ only in naive N", it, q, c, u)
 					}
 				}
 			}
@@ -317,5 +313,55 @@ func TestEmptyQueryAndEmptyDB(t *testing.T) {
 	res2, traces := SolveNaive(instance.MustParseFacts("R(a,b)"), words.Word{})
 	if !res2.Certain || len(traces) != 0 {
 		t.Error("naive empty query")
+	}
+}
+
+// TestFormatTraceDeterministic guards the golden-trace rendering after
+// interning: added pairs are sorted by interned constant id (= sorted
+// name order) then prefix length, so repeated runs over map-backed
+// state produce byte-identical tables.
+func TestFormatTraceDeterministic(t *testing.T) {
+	db := instance.MustParseFacts(
+		"R(v10,v2) R(v10,v3) R(v2,v3) R(v3,v10) X(v3,v1) X(v2,v1) Y(v1,v2)")
+	q := words.MustParse("RRX")
+	_, first := SolveNaive(db, q)
+	want := FormatTrace(q, first)
+	for i := 0; i < 20; i++ {
+		fresh := db.Clone()
+		_, traces := SolveNaive(fresh, q)
+		if got := FormatTrace(q, traces); got != want {
+			t.Fatalf("run %d: trace differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	// Rows are sorted by interned id within a round.
+	iv := db.Interned()
+	for _, tr := range first {
+		for i := 1; i < len(tr.Added); i++ {
+			a, _ := iv.ConstID(tr.Added[i-1].C)
+			b, _ := iv.ConstID(tr.Added[i].C)
+			if a > b || (a == b && tr.Added[i-1].U >= tr.Added[i].U) {
+				t.Fatalf("round %d not sorted by interned id: %v", tr.Round, tr.Added)
+			}
+		}
+	}
+}
+
+// TestSolveMatchesAfterMutation checks the binding memo against
+// instance mutation: a Compiled query bound to an instance must see
+// the post-mutation state on the next Solve (the stale interned
+// snapshot is unreachable after the mutation publishes a new one).
+func TestSolveMatchesAfterMutation(t *testing.T) {
+	cp := Compile(words.MustParse("RRX"))
+	db := instance.MustParseFacts("R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)")
+	if !cp.Solve(db).Certain {
+		t.Fatal("Figure 2 is a yes-instance")
+	}
+	db.Remove(instance.Fact{Rel: "X", Key: "3", Val: "4"})
+	if cp.Solve(db).Certain {
+		t.Fatal("stale binding: removing X(3,4) must break certainty")
+	}
+	db.AddFact("X", "3", "4")
+	if !cp.Solve(db).Certain {
+		t.Fatal("stale binding: re-adding X(3,4) must restore certainty")
 	}
 }

@@ -58,10 +58,11 @@ type Instance struct {
 // fields are computed on demand (copy-on-write, so concurrent readers
 // never see a partially built slice).
 type viewCache struct {
-	adom   []string
-	blocks []BlockID
-	facts  []Fact
-	rels   []string
+	adom     []string
+	blocks   []BlockID
+	facts    []Fact
+	rels     []string
+	interned *Interned
 }
 
 // snapshot returns the current view snapshot, never nil.
@@ -270,6 +271,111 @@ func (db *Instance) Blocks() []BlockID {
 	db.publish(c)
 	return out
 }
+
+// Interned is an immutable dense-integer view of an instance: the
+// active domain and the relation names interned to dense ids, with
+// every block rewritten to interned ids. Ids are assigned in sorted
+// order, so id order coincides with the lexicographic order of the
+// underlying names (and interned block values stay sorted ascending).
+//
+// Solvers index slices by these ids instead of hashing strings, which
+// is what makes the Figure 5 fixpoint loop allocation- and hash-free
+// per evaluation. A fresh Interned snapshot is built after every
+// mutation of the instance (the memo lives in the same atomic view
+// snapshot as Adom/Blocks/Facts), so pointer identity of an *Interned
+// identifies one immutable instance state: compiled plans key their
+// instance-bound transition tables on it and get invalidation on
+// mutation for free.
+type Interned struct {
+	consts  []string
+	constID map[string]int32
+	rels    []string
+	relID   map[string]int32
+	blocks  [][]InternedBlock // indexed by relation id
+	nfacts  int
+}
+
+// InternedBlock is one block R(key,*) in interned form: the key
+// constant id and the sorted ids of the non-key values.
+type InternedBlock struct {
+	Key  int32
+	Vals []int32
+}
+
+// Interned returns the interned view of db, building and memoizing it
+// on first use. The returned value is immutable and shared; like the
+// other accessor views it must not be modified, and it is safe for any
+// number of concurrent readers.
+func (db *Instance) Interned() *Interned {
+	if c := db.snapshot(); c.interned != nil {
+		return c.interned
+	}
+	// Build from the memoized sorted views so interned id order is
+	// exactly their deterministic order.
+	adom, rels, blocks := db.Adom(), db.Relations(), db.Blocks()
+	iv := &Interned{
+		consts:  adom,
+		constID: make(map[string]int32, len(adom)),
+		rels:    rels,
+		relID:   make(map[string]int32, len(rels)),
+		blocks:  make([][]InternedBlock, len(rels)),
+		nfacts:  len(db.facts),
+	}
+	for i, s := range adom {
+		iv.constID[s] = int32(i)
+	}
+	for i, r := range rels {
+		iv.relID[r] = int32(i)
+	}
+	for _, id := range blocks {
+		rid := iv.relID[id.Rel]
+		vals := db.blocks[id]
+		ib := InternedBlock{Key: iv.constID[id.Key], Vals: make([]int32, len(vals))}
+		for i, v := range vals {
+			ib.Vals[i] = iv.constID[v]
+		}
+		iv.blocks[rid] = append(iv.blocks[rid], ib)
+	}
+	c := db.snapshot()
+	c.interned = iv
+	db.publish(c)
+	return iv
+}
+
+// NumConsts returns the number of interned constants (|adom|).
+func (iv *Interned) NumConsts() int { return len(iv.consts) }
+
+// Const returns the constant name with interned id c.
+func (iv *Interned) Const(c int32) string { return iv.consts[c] }
+
+// Consts returns the interned constant names in id order (the sorted
+// active domain). The slice is shared and must not be modified.
+func (iv *Interned) Consts() []string { return iv.consts }
+
+// ConstID returns the interned id of constant c.
+func (iv *Interned) ConstID(c string) (int32, bool) {
+	id, ok := iv.constID[c]
+	return id, ok
+}
+
+// NumRels returns the number of interned relation names.
+func (iv *Interned) NumRels() int { return len(iv.rels) }
+
+// Rel returns the relation name with interned id r.
+func (iv *Interned) Rel(r int32) string { return iv.rels[r] }
+
+// RelID returns the interned id of relation name r.
+func (iv *Interned) RelID(r string) (int32, bool) {
+	id, ok := iv.relID[r]
+	return id, ok
+}
+
+// RelBlocks returns the blocks of the relation with interned id r, in
+// ascending key-id order. The slice is shared and must not be modified.
+func (iv *Interned) RelBlocks(r int32) []InternedBlock { return iv.blocks[r] }
+
+// NumFacts returns the number of facts in the interned snapshot.
+func (iv *Interned) NumFacts() int { return iv.nfacts }
 
 // ConflictingBlocks returns the ids of blocks with more than one fact.
 func (db *Instance) ConflictingBlocks() []BlockID {

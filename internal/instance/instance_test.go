@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"cqa/internal/words"
@@ -267,4 +268,77 @@ func keys(m map[string]bool) []string {
 		}
 	}
 	return out
+}
+
+func TestInternedView(t *testing.T) {
+	db := MustParseFacts("R(b,a) R(b,c) S(a,b) R(a,c)")
+	iv := db.Interned()
+	// Ids follow sorted order: consts a=0, b=1, c=2; rels R=0, S=1.
+	if got := iv.Consts(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Consts = %v", got)
+	}
+	if iv.NumConsts() != 3 || iv.NumRels() != 2 || iv.NumFacts() != 4 {
+		t.Fatalf("sizes: %d consts %d rels %d facts", iv.NumConsts(), iv.NumRels(), iv.NumFacts())
+	}
+	if id, ok := iv.ConstID("b"); !ok || id != 1 || iv.Const(1) != "b" {
+		t.Errorf("ConstID(b) = %d,%v", id, ok)
+	}
+	if _, ok := iv.ConstID("zz"); ok {
+		t.Error("ConstID of absent constant")
+	}
+	rid, ok := iv.RelID("R")
+	if !ok || iv.Rel(rid) != "R" {
+		t.Fatalf("RelID(R) = %d,%v", rid, ok)
+	}
+	// Blocks of R in ascending key-id order: R(a,*)={c}, R(b,*)={a,c}.
+	blocks := iv.RelBlocks(rid)
+	want := []InternedBlock{{Key: 0, Vals: []int32{2}}, {Key: 1, Vals: []int32{0, 2}}}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Errorf("RelBlocks(R) = %v, want %v", blocks, want)
+	}
+}
+
+func TestInternedMemoizedAndInvalidated(t *testing.T) {
+	db := MustParseFacts("R(a,b)")
+	iv1 := db.Interned()
+	if iv2 := db.Interned(); iv1 != iv2 {
+		t.Error("Interned not memoized across calls")
+	}
+	db.AddFact("R", "a", "c")
+	iv3 := db.Interned()
+	if iv3 == iv1 {
+		t.Error("mutation did not invalidate the interned snapshot")
+	}
+	if iv1.NumFacts() != 1 || iv3.NumFacts() != 2 {
+		t.Errorf("old snapshot mutated: %d / %d facts", iv1.NumFacts(), iv3.NumFacts())
+	}
+	db.Remove(Fact{"R", "a", "c"})
+	if iv4 := db.Interned(); iv4 == iv3 || iv4.NumFacts() != 1 {
+		t.Error("Remove did not invalidate the interned snapshot")
+	}
+}
+
+// TestInternedConcurrentReaders exercises the copy-on-write snapshot
+// under -race: many goroutines intern and read concurrently.
+func TestInternedConcurrentReaders(t *testing.T) {
+	db := MustParseFacts("R(a,b) R(a,c) S(b,c) R(c,a)")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				iv := db.Interned()
+				if iv.NumConsts() != 3 || iv.NumFacts() != 4 {
+					t.Error("bad interned view")
+					return
+				}
+				if id, ok := iv.ConstID("c"); !ok || iv.Const(id) != "c" {
+					t.Error("bad const roundtrip")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -62,8 +62,10 @@ type Result struct {
 	// starting at c (set on yes-instances decided by the fixpoint
 	// tier).
 	Witness string
-	// Counterexample is a repair falsifying q (set on no-instances
-	// where the tier produces one).
+	// Counterexample is a repair falsifying q. The SAT and exhaustive
+	// tiers produce one as a byproduct on every no-instance; the
+	// fixpoint tier builds its Lemma 10 minimal repair only when
+	// Options.WantCounterexample is set.
 	Counterexample *instance.Instance
 	// Note carries diagnostic detail, e.g. the NL decomposition or a
 	// fallback reason.
@@ -244,7 +246,10 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 		res.Certain = fp.Certain
 		if fp.Certain && len(fp.Starts) > 0 {
 			res.Witness = fp.Starts[0]
-		} else if !fp.Certain {
+		} else if !fp.Certain && opts.WantCounterexample {
+			// The Lemma 10 minimal repair is built on request only: it
+			// re-materializes a string-keyed instance, which would
+			// dominate the interned solver on serving paths.
 			res.Counterexample = fixpoint.CounterexampleRepair(db, p.word, fp)
 		}
 	case MethodSAT:
