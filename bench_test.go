@@ -84,6 +84,27 @@ func BenchmarkTierNL(b *testing.B) {
 	}
 }
 
+// BenchmarkTierNLCompiled: the same workload as BenchmarkTierNL through
+// one compiled evaluator, isolating the interned per-snapshot artifact
+// memo — per warm call only the O-bitset scan over the active domain
+// runs.
+func BenchmarkTierNLCompiled(b *testing.B) {
+	q := words.MustParse("RRX")
+	ev, err := nl.NewEvaluator(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range benchSizes {
+		db := benchInstance(size)
+		ev.IsCertain(db) // build the per-snapshot artifacts once
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev.IsCertain(db)
+			}
+		})
+	}
+}
+
 // BenchmarkTierFixpoint: the Figure 5 algorithm on PTIME-class query
 // RXRYRY.
 func BenchmarkTierFixpoint(b *testing.B) {

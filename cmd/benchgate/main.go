@@ -2,7 +2,11 @@
 // `go test -bench` output, aggregates repeated runs (-count N) by
 // taking the fastest ns/op per benchmark, compares against a
 // checked-in baseline, and exits nonzero when any gated benchmark
-// regressed by more than the threshold. It also writes a JSON report
+// regressed by more than the threshold. The baseline may additionally
+// declare ratio gates — bounds on the quotient of two measured
+// benchmarks (e.g. warm-reuse vs cold ns/op) — which are
+// hardware-independent and therefore survive runner CPU changes that
+// invalidate every absolute number. It also writes a JSON report
 // (the CI workflow uploads it as an artifact), so every run leaves a
 // machine-readable record of the measured numbers next to the
 // baseline they were judged against.
@@ -46,11 +50,25 @@ var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]
 
 // Baseline is the checked-in reference: fastest observed ns/op per
 // gated benchmark, plus a note describing the hardware it was
-// measured on.
+// measured on, plus hardware-independent ratio gates.
 type Baseline struct {
 	Note    string             `json:"note,omitempty"`
 	CPU     string             `json:"cpu,omitempty"`
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// Ratios are gates on measured-vs-measured quotients, so they keep
+	// their meaning when the runner hardware changes (absolute ns/op
+	// does not). -update preserves them verbatim: they are policy, not
+	// measurements.
+	Ratios []RatioGate `json:"ratios,omitempty"`
+}
+
+// RatioGate asserts that the measured ns/op ratio numerator/denominator
+// stays at or below Max. Both benchmarks must be present in the run.
+type RatioGate struct {
+	Name string  `json:"name"`
+	Num  string  `json:"numerator"`
+	Den  string  `json:"denominator"`
+	Max  float64 `json:"max"`
 }
 
 // Report is the JSON artifact written by -out.
@@ -59,6 +77,7 @@ type Report struct {
 	Threshold   float64                `json:"threshold"`
 	Pass        bool                   `json:"pass"`
 	Results     map[string]BenchResult `json:"results"`
+	Ratios      map[string]RatioResult `json:"ratios,omitempty"`
 	Regressions []string               `json:"regressions,omitempty"`
 	Ungated     map[string]float64     `json:"ungated,omitempty"`
 }
@@ -68,6 +87,14 @@ type BenchResult struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	Baseline float64 `json:"baseline_ns_per_op"`
 	Ratio    float64 `json:"ratio"`
+}
+
+// RatioResult is one ratio gate in the report.
+type RatioResult struct {
+	Numerator   float64 `json:"numerator_ns_per_op"`
+	Denominator float64 `json:"denominator_ns_per_op"`
+	Ratio       float64 `json:"ratio"`
+	Max         float64 `json:"max"`
 }
 
 func main() {
@@ -115,6 +142,7 @@ func main() {
 			if kept > 0 {
 				fmt.Printf("benchgate: kept %d baseline benchmarks not present in this run\n", kept)
 			}
+			next.Ratios = prev.Ratios
 		}
 		if err := writeJSON(*basePath, next); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -134,11 +162,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *basePath, err)
 		os.Exit(2)
 	}
-	if base.CPU != "" && cpu != "" && base.CPU != cpu {
-		// Absolute ns/op across different CPUs is apples-to-oranges;
-		// the gate still runs (per policy), but make the mismatch loud
-		// so a hardware-induced failure is diagnosable at a glance.
-		fmt.Fprintf(os.Stderr, "benchgate: WARNING: baseline cpu %q != measured cpu %q; refresh the baseline with -update if the runner hardware changed\n",
+	// Absolute ns/op across different CPUs is apples-to-oranges: on a
+	// hardware mismatch the absolute comparisons are reported but only
+	// the ratio gates (which are hardware-independent) and coverage
+	// errors decide pass/fail.
+	cpuMatch := base.CPU == "" || cpu == "" || base.CPU == cpu
+	if !cpuMatch {
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING: baseline cpu %q != measured cpu %q; absolute gates are informational for this run (ratio gates still enforce); refresh with -update if the runner hardware changed\n",
 			base.CPU, cpu)
 	}
 
@@ -167,12 +197,44 @@ func main() {
 		report.Results[name] = BenchResult{NsPerOp: got, Baseline: baseNs, Ratio: ratio}
 		status := "ok"
 		if ratio > 1+*threshold {
-			status = fmt.Sprintf("REGRESSION (>%.0f%%)", *threshold*100)
-			report.Pass = false
-			report.Regressions = append(report.Regressions, name)
+			if cpuMatch {
+				status = fmt.Sprintf("REGRESSION (>%.0f%%)", *threshold*100)
+				report.Pass = false
+				report.Regressions = append(report.Regressions, name)
+			} else {
+				status = fmt.Sprintf("over +%.0f%% (informational: cpu mismatch)", *threshold*100)
+			}
 		}
 		fmt.Printf("%-55s %12.1f ns/op  baseline %12.1f  ratio %5.2f  %s\n",
 			name, got, baseNs, ratio, status)
+	}
+	// Ratio gates: hardware-independent quotients of two measured
+	// benchmarks, robust to runner CPU changes.
+	if len(base.Ratios) > 0 {
+		report.Ratios = make(map[string]RatioResult)
+	}
+	for _, rg := range base.Ratios {
+		num, okN := measured[rg.Num]
+		den, okD := measured[rg.Den]
+		if !okN || !okD {
+			missing := rg.Num
+			if okN {
+				missing = rg.Den
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: ratio gate %q: benchmark %q was not run\n", rg.Name, missing)
+			report.Pass = false
+			report.Regressions = append(report.Regressions, rg.Name+" (not run)")
+			continue
+		}
+		ratio := num / den
+		report.Ratios[rg.Name] = RatioResult{Numerator: num, Denominator: den, Ratio: ratio, Max: rg.Max}
+		status := "ok"
+		if ratio > rg.Max {
+			status = fmt.Sprintf("RATIO REGRESSION (>%.3g)", rg.Max)
+			report.Pass = false
+			report.Regressions = append(report.Regressions, rg.Name)
+		}
+		fmt.Printf("%-55s %12.4f ratio     max %12.4f              %s\n", rg.Name, ratio, rg.Max, status)
 	}
 	for name, got := range measured {
 		if _, gated := base.NsPerOp[name]; !gated {
@@ -190,8 +252,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", strings.Join(report.Regressions, ", "))
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: PASS (%d gated benchmarks within +%.0f%% of baseline)\n",
-		len(report.Results), *threshold*100)
+	fmt.Printf("benchgate: PASS (%d gated benchmarks within +%.0f%% of baseline, %d ratio gates)\n",
+		len(report.Results), *threshold*100, len(report.Ratios))
 }
 
 // parseFiles extracts the fastest ns/op per benchmark name across all

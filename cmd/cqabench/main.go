@@ -41,7 +41,7 @@ type experiment struct {
 }
 
 func main() {
-	sel := flag.String("e", "", "run a single experiment (E1..E14)")
+	sel := flag.String("e", "", "run a single experiment (E1..E15)")
 	flag.Parse()
 	exps := []experiment{
 		{"E1", "Figure 1 / Examples 1-2: self-joins change certainty", e1},
@@ -58,6 +58,7 @@ func main() {
 		{"E12", "Section 8 / Examples 8-10: queries with constants", e12},
 		{"E13", "Proposition 1, Lemmas 1-3: word-combinatorics census", e13},
 		{"E14", "Interned fixpoint serving: binding memo cold vs warm", e14},
+		{"E15", "Interned NL serving: loop procedure cold vs warm", e15},
 	}
 	allOK := true
 	for _, e := range exps {
@@ -497,6 +498,62 @@ func e14() bool {
 		q, db.Size(), len(db.Adom()), coldNs, warmNs, coldNs/warmNs)
 	fmt.Printf("  answers agree: %v (certain=%v)\n", coldCertain == warmCertain, warmCertain)
 	return coldCertain == warmCertain && warmNs < coldNs
+}
+
+// e15 extends E14's serving trajectory to the NL tier: the Section 6.3
+// loop procedure run cold (Decompose certification + artifact build per
+// call, via nl.IsCertain) against one reused Evaluator whose
+// per-snapshot artifacts are memoized (warm calls scan the memoized O
+// bitset). Printed alongside E14 so the cold-vs-warm story covers both
+// serving tiers in one place.
+func e15() bool {
+	ok := true
+	fmt.Printf("  %-11s %8s %8s %12s %12s %9s\n", "query", "facts", "|adom|", "cold ns", "warm ns", "speedup")
+	for _, qs := range []string{"RRX", "RRRRRRRRX"} {
+		q := words.MustParse(qs)
+		ev, err := nl.NewEvaluator(q)
+		if err != nil {
+			fmt.Printf("  %s: %v\n", qs, err)
+			return false
+		}
+		for _, facts := range []int{20, 100, 1000} {
+			db := workload.Random(workload.Config{
+				Relations:    []string{"R", "X"},
+				Constants:    facts / 2,
+				Facts:        facts,
+				ConflictRate: 0.3,
+				Seed:         15,
+			})
+			iters := 100
+			if facts >= 1000 {
+				iters = 20
+			}
+			cold := time.Now()
+			var coldCertain bool
+			for i := 0; i < iters; i++ {
+				c, _, err := nl.IsCertain(db, q) // Decompose + certify + build per call
+				if err != nil {
+					fmt.Printf("  %s: %v\n", qs, err)
+					return false
+				}
+				coldCertain = c
+			}
+			coldNs := float64(time.Since(cold).Nanoseconds()) / float64(iters)
+
+			ev.IsCertain(db) // build the per-snapshot artifacts once
+			warm := time.Now()
+			var warmCertain bool
+			for i := 0; i < 50*iters; i++ {
+				warmCertain = ev.IsCertain(db)
+			}
+			warmNs := float64(time.Since(warm).Nanoseconds()) / float64(50*iters)
+
+			fmt.Printf("  %-11s %8d %8d %12.0f %12.1f %8.0fx\n",
+				qs, db.Size(), len(db.Adom()), coldNs, warmNs, coldNs/warmNs)
+			ok = ok && coldCertain == warmCertain && warmNs < coldNs
+		}
+	}
+	return ok
 }
 
 // fo is referenced here to keep the import set stable across edits.

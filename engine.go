@@ -36,16 +36,19 @@
 //
 // # Interned evaluation
 //
-// The fixpoint tiers evaluate on the instance's interned view
+// The NL and PTIME tiers evaluate on the instance's interned view
 // (Instance.Interned): the active domain and relation names are
 // interned to dense integer ids once per instance state, and the
-// Figure 5 solver runs entirely on slice-indexed state. On top of the
-// interned view, each compiled plan memoizes its instance-bound
-// transition tables per (plan, instance) pair, keyed by the interned
-// snapshot pointer. Mutating an instance publishes a fresh snapshot,
-// so stale tables are unreachable by construction — serving workloads
-// that re-query the same instance pay the table build once and then
-// only the worklist iteration per call.
+// solvers run entirely on slice-indexed state — the Figure 5 fixpoint
+// on a bitset relation with a CSR successor index, the Section 6.3
+// loop procedure on bitset predicates over a CSR loop-step graph. On
+// top of the interned view, each compiled plan memoizes its
+// instance-bound artifacts per (plan, instance) pair, keyed by the
+// interned snapshot pointer in a bounded LRU. Mutating an instance
+// publishes a fresh snapshot, so stale artifacts are unreachable by
+// construction — serving workloads that re-query the same instance pay
+// the build once and then do only per-call decision work (for the NL
+// tier, a scan of the memoized Lemma 14 predicate).
 package cqa
 
 import (

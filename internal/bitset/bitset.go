@@ -1,0 +1,55 @@
+// Package bitset provides the dense bit vector shared by the interned
+// solver tiers: the fixpoint relation N, the NL tier's Lemma 14
+// predicates, and the Lemma 12 DP frontiers are all Bits indexed by
+// interned ids. Bits is a plain []uint64, so word-level operations
+// (complement, intersection) can be written directly where a loop over
+// words is clearer than a method.
+package bitset
+
+import "math/bits"
+
+// Bits is a fixed-size dense bit vector.
+type Bits []uint64
+
+// New returns a Bits able to hold n bits, all clear.
+func New(n int) Bits { return make(Bits, (n+63)>>6) }
+
+// Test reports whether bit i is set.
+func (b Bits) Test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear zeroes all bits.
+func (b Bits) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// MaskTail clears the bits at index n and beyond in the last word, so
+// that a word-level complement stays confined to a domain of n bits.
+func (b Bits) MaskTail(n int) {
+	if n&63 != 0 && len(b) > 0 {
+		b[len(b)-1] &= (1 << (uint(n) & 63)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f with the index of every set bit, ascending.
+func (b Bits) ForEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 | bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -21,10 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"cqa/internal/automata"
+	"cqa/internal/bitset"
 	"cqa/internal/instance"
+	"cqa/internal/memo"
 	"cqa/internal/words"
 )
 
@@ -48,10 +49,17 @@ type Result struct {
 	// sorted order.
 	Starts []string
 
-	iv   *instance.Interned
-	nq   int    // len(Query)
-	bits bitset // ⟨c, u⟩ ∈ N at bit c*(nq+1)+u
+	iv        *instance.Interned
+	nq        int         // len(Query)
+	bits      bitset.Bits // ⟨c, u⟩ ∈ N at bit c*(nq+1)+u
+	startBits bitset.Bits // bit c set iff ⟨c, ε⟩ ∈ N (Starts, interned)
 }
+
+// StartBits returns the set of constants c with ⟨c, ε⟩ ∈ N as a bitset
+// over interned constant ids — the interned form of Starts, used by the
+// NL tier's avoidance predicate. The slice is shared and must not be
+// modified.
+func (r *Result) StartBits() []uint64 { return r.startBits }
 
 // Has reports whether ⟨c, u⟩ ∈ N.
 func (r *Result) Has(c string, u int) bool {
@@ -62,7 +70,7 @@ func (r *Result) Has(c string, u int) bool {
 	if !ok {
 		return false
 	}
-	return r.bits.test(int(id)*(r.nq+1) + u)
+	return r.bits.Test(int(id)*(r.nq+1) + u)
 }
 
 // Pairs returns N as an explicit pair list, sorted by interned constant
@@ -75,7 +83,7 @@ func (r *Result) Pairs() []Pair {
 	var out []Pair
 	for c := 0; c < r.iv.NumConsts(); c++ {
 		for u := 0; u < stride; u++ {
-			if r.bits.test(c*stride + u) {
+			if r.bits.Test(c*stride + u) {
 				out = append(out, Pair{C: r.iv.Const(int32(c)), U: u})
 			}
 		}
@@ -97,13 +105,6 @@ func (r *Result) NMap() map[string]map[int]bool {
 	return out
 }
 
-// bitset is a fixed-size dense bit vector.
-type bitset []uint64
-
-func newBitset(n int) bitset     { return make(bitset, (n+63)>>6) }
-func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
-func (b bitset) set(i int)       { b[i>>6] |= 1 << (uint(i) & 63) }
-
 // Compiled is the query-dependent machinery of the Figure 5 algorithm,
 // precomputed once per query so that repeated Solve calls over many
 // instances skip rebuilding NFA(q) and its backward ε-transition table.
@@ -122,24 +123,18 @@ type Compiled struct {
 
 	// bindings memoizes instance-bound tables keyed by the interned
 	// snapshot pointer: a mutation of the instance publishes a fresh
-	// *Interned, so a stale binding can never be looked up again.
-	// Entries carry a sync.Once so concurrent first Solves on a fresh
-	// snapshot build the tables exactly once, without holding mu.
-	mu       sync.Mutex
-	bindings map[*instance.Interned]*bindingEntry
+	// *Interned, so a stale binding can never be looked up again. The
+	// memo is a bounded LRU (least-recently-served snapshot evicted
+	// first); builds run outside the memo lock, so a large instance
+	// never serializes Solves over other instances. The NL tier reuses
+	// the same memo policy for its per-snapshot artifacts.
+	bindings *memo.LRU[*instance.Interned, *binding]
 }
 
-// bindingEntry builds its binding at most once; concurrent binds for
-// the same snapshot block on the entry, not on the whole Compiled.
-type bindingEntry struct {
-	once sync.Once
-	b    *binding
-}
-
-// maxBindings bounds the per-query binding memo so that compiled plans
+// MaxBindings bounds the per-query binding memo so that compiled plans
 // retained in an engine cache do not pin an unbounded number of old
 // instance snapshots.
-const maxBindings = 16
+const MaxBindings = 16
 
 // binding is the instance-side half of the Figure 5 machinery for one
 // (compiled query, interned instance snapshot) pair: one block state
@@ -162,27 +157,7 @@ type binding struct {
 
 // bind returns the memoized binding for iv, building it on first use.
 func (cp *Compiled) bind(iv *instance.Interned) *binding {
-	cp.mu.Lock()
-	e, ok := cp.bindings[iv]
-	if !ok {
-		if cp.bindings == nil {
-			cp.bindings = make(map[*instance.Interned]*bindingEntry)
-		}
-		if len(cp.bindings) >= maxBindings {
-			for k := range cp.bindings {
-				delete(cp.bindings, k)
-				break
-			}
-		}
-		e = &bindingEntry{}
-		cp.bindings[iv] = e
-	}
-	cp.mu.Unlock()
-	// Build outside the lock: a large instance must not serialize
-	// Solves over other instances. Evicted entries remain usable by
-	// holders.
-	e.once.Do(func() { e.b = cp.buildBinding(iv) })
-	return e.b
+	return cp.bindings.Get(iv, func() *binding { return cp.buildBinding(iv) })
 }
 
 // buildBinding constructs the interned transition tables for iv.
@@ -252,6 +227,7 @@ func Compile(q words.Word) *Compiled {
 		nfa:         automata.New(q),
 		backSources: make([][]int, n+1),
 		positions:   make(map[string][]int, n),
+		bindings:    memo.NewLRU[*instance.Interned, *binding](MaxBindings),
 	}
 	for u := 0; u <= n; u++ {
 		c.backSources[u] = c.nfa.BackwardSources(u)
@@ -281,15 +257,24 @@ func Solve(db *instance.Instance, q words.Word) *Result {
 // carries packed int pairs, and the Iterative Rule walks the binding's
 // CSR successor index — no string hashing or per-pair allocation.
 func (cp *Compiled) Solve(db *instance.Instance) *Result {
-	iv := db.Interned()
+	return cp.SolveInterned(db.Interned())
+}
+
+// SolveInterned is Solve on an interned snapshot directly. Callers that
+// already hold the snapshot (the NL tier's sub-solvers) use it so that
+// everything they derive — and memoize under that snapshot pointer — is
+// a function of the snapshot alone.
+func (cp *Compiled) SolveInterned(iv *instance.Interned) *Result {
 	n := len(cp.q)
 	nc := iv.NumConsts()
 	res := &Result{Query: cp.q.Clone(), iv: iv, nq: n}
 	if n == 0 {
 		res.Certain = true // empty query: trivially certain
-		res.bits = newBitset(nc)
+		res.bits = bitset.New(nc)
+		res.startBits = bitset.New(nc)
 		for c := 0; c < nc; c++ {
-			res.bits.set(c)
+			res.bits.Set(c)
+			res.startBits.Set(c)
 		}
 		res.Starts = append(res.Starts, iv.Consts()...)
 		return res
@@ -297,15 +282,15 @@ func (cp *Compiled) Solve(db *instance.Instance) *Result {
 
 	b := cp.bind(iv)
 	stride := n + 1
-	bits := newBitset(nc * stride)
+	bits := bitset.New(nc * stride)
 	// pending[i] counts the successors of block state i not yet known
 	// to satisfy ⟨y, v+1⟩; the binding's counters are copied so the
 	// binding itself stays immutable under concurrent Solve calls.
 	pending := append([]int32(nil), b.pendingInit...)
 	queue := make([]int32, 0, nc)
 	add := func(idx int) {
-		if !bits.test(idx) {
-			bits.set(idx)
+		if !bits.Test(idx) {
+			bits.Set(idx)
 			queue = append(queue, int32(idx))
 		}
 	}
@@ -345,9 +330,11 @@ func (cp *Compiled) Solve(db *instance.Instance) *Result {
 	}
 
 	res.bits = bits
+	res.startBits = bitset.New(nc)
 	for c := 0; c < nc; c++ {
-		if bits.test(c * stride) {
+		if bits.Test(c * stride) {
 			res.Certain = true
+			res.startBits.Set(c)
 			res.Starts = append(res.Starts, iv.Const(int32(c)))
 		}
 	}
@@ -438,15 +425,17 @@ func SolveNaive(db *instance.Instance, q words.Word) (*Result, []Trace) {
 func resultFromPairs(q words.Word, iv *instance.Interned, inN map[Pair]bool) *Result {
 	n := len(q)
 	stride := n + 1
-	res := &Result{Query: q.Clone(), iv: iv, nq: n, bits: newBitset(iv.NumConsts() * stride)}
+	res := &Result{Query: q.Clone(), iv: iv, nq: n, bits: bitset.New(iv.NumConsts() * stride)}
 	for p := range inN {
 		if id, ok := iv.ConstID(p.C); ok && p.U >= 0 && p.U <= n {
-			res.bits.set(int(id)*stride + p.U)
+			res.bits.Set(int(id)*stride + p.U)
 		}
 	}
+	res.startBits = bitset.New(iv.NumConsts())
 	for c := 0; c < iv.NumConsts(); c++ {
-		if res.bits.test(c*stride) || n == 0 {
+		if res.bits.Test(c*stride) || n == 0 {
 			res.Certain = true
+			res.startBits.Set(c)
 			res.Starts = append(res.Starts, iv.Const(int32(c)))
 		}
 	}

@@ -1,0 +1,57 @@
+package fo
+
+import (
+	"cqa/internal/bitset"
+	"cqa/internal/instance"
+	"cqa/internal/words"
+)
+
+// Interned evaluation of the Lemma 12 dynamic program: the cert_i sets
+// are bitsets over interned constant ids and the per-position pass
+// walks the interned block lists, so the DP does no string hashing and
+// allocates only the two frontier bitsets. This is the form the NL tier
+// calls at its leaves (terminal tests for the pre and loop words).
+
+// CertainStartsBits evaluates the Lemma 12 DP on the interned view of
+// an instance: bit c of the result is set iff db ⊨ ψ(c) for the
+// rewriting ψ of q. Bits at and beyond NumConsts are zero.
+func CertainStartsBits(iv *instance.Interned, q words.Word) bitset.Bits {
+	nc := iv.NumConsts()
+	cur := bitset.New(nc)
+	for i := range cur {
+		cur[i] = ^uint64(0)
+	}
+	cur.MaskTail(nc)
+	next := bitset.New(nc)
+	for i := len(q) - 1; i >= 0; i-- {
+		next.Clear()
+		if rid, ok := iv.RelID(q[i]); ok {
+			for _, bl := range iv.RelBlocks(rid) {
+				all := true
+				for _, y := range bl.Vals {
+					if !cur.Test(int(y)) {
+						all = false
+						break
+					}
+				}
+				if all {
+					next.Set(int(bl.Key))
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// TerminalBitset returns the constants of the interned view that are
+// terminal for q (Definition 15, computed as ¬ψ per Lemma 17): the
+// complement of CertainStartsBits over the active domain.
+func TerminalBitset(iv *instance.Interned, q words.Word) bitset.Bits {
+	out := CertainStartsBits(iv, q)
+	for i := range out {
+		out[i] = ^out[i]
+	}
+	out.MaskTail(iv.NumConsts())
+	return out
+}

@@ -80,31 +80,15 @@ func RewriteCertain(q words.Word) Formula {
 // sound under-approximation of the certain exact-trace starts, and exact
 // for self-join-free and periodic q (see the package note on Lemma 12).
 func CertainStarts(db *instance.Instance, q words.Word) map[string]bool {
-	cur := make(map[string]bool, len(db.Adom()))
-	for _, c := range db.Adom() {
-		cur[c] = true
-	}
-	for i := len(q) - 1; i >= 0; i-- {
-		rel := q[i]
-		next := make(map[string]bool)
-		for _, id := range db.Blocks() {
-			if id.Rel != rel {
-				continue
-			}
-			all := true
-			for _, y := range db.Block(id.Rel, id.Key) {
-				if !cur[y] {
-					all = false
-					break
-				}
-			}
-			if all {
-				next[id.Key] = true
-			}
+	iv := db.Interned()
+	bits := CertainStartsBits(iv, q)
+	out := make(map[string]bool)
+	for c := 0; c < iv.NumConsts(); c++ {
+		if bits.Test(c) {
+			out[iv.Const(int32(c))] = true
 		}
-		cur = next
 	}
-	return cur
+	return out
 }
 
 // CertainAt reports whether db ⊨ ψ(c) for the Lemma 12 rewriting ψ of

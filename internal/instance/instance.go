@@ -5,10 +5,13 @@
 package instance
 
 import (
+	"cqa/internal/bitset"
 	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"cqa/internal/words"
 )
 
 // Fact is a fact R(key, val) of a binary relation R whose first position
@@ -374,8 +377,98 @@ func (iv *Interned) RelID(r string) (int32, bool) {
 // ascending key-id order. The slice is shared and must not be modified.
 func (iv *Interned) RelBlocks(r int32) []InternedBlock { return iv.blocks[r] }
 
+// Block returns the non-key value ids of the block r(key,*), sorted
+// ascending — the interned counterpart of Instance.Block. It binary
+// searches the relation's key-ordered block list, so the snapshot
+// carries no per-relation dense index (interning stays proportional to
+// the facts, not relations × constants). The slice is shared and must
+// not be modified.
+func (iv *Interned) Block(r, key int32) []int32 {
+	bs := iv.blocks[r]
+	i, j := 0, len(bs)
+	for i < j {
+		h := (i + j) >> 1
+		if bs[h].Key < key {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	if i < len(bs) && bs[i].Key == key {
+		return bs[i].Vals
+	}
+	return nil
+}
+
 // NumFacts returns the number of facts in the interned snapshot.
 func (iv *Interned) NumFacts() int { return iv.nfacts }
+
+// InternWord interns the relation names of w to relation ids. A
+// relation absent from the instance gets id -1: it has no blocks, so
+// any walk step over it is empty.
+func (iv *Interned) InternWord(w words.Word) []int32 {
+	out := make([]int32, len(w))
+	for i, rel := range w {
+		if id, ok := iv.relID[rel]; ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// WalkBuf holds reusable frontier scratch for WalkEnds, so a caller
+// walking from many start constants allocates the two frontier bitsets
+// once. The zero value is ready for use.
+type WalkBuf struct {
+	cur, next bitset.Bits
+}
+
+func (b *WalkBuf) grow(nw int) {
+	if cap(b.cur) < nw {
+		b.cur = make(bitset.Bits, nw)
+		b.next = make(bitset.Bits, nw)
+	}
+	b.cur = b.cur[:nw]
+	b.next = b.next[:nw]
+}
+
+// WalkEnds returns the ids of the constants d such that the instance
+// has a (not necessarily consistent) path from c to d with trace rels
+// (relation ids as produced by InternWord), in ascending order — the
+// interned counterpart of Instance.WalkEnds. buf may be nil.
+func (iv *Interned) WalkEnds(c int32, rels []int32, buf *WalkBuf) []int32 {
+	if buf == nil {
+		buf = &WalkBuf{}
+	}
+	nc := len(iv.consts)
+	buf.grow((nc + 63) >> 6)
+	cur, next := buf.cur, buf.next
+	cur.Clear()
+	cur.Set(int(c))
+	for _, rid := range rels {
+		next.Clear()
+		any := false
+		if rid >= 0 {
+			cur.ForEach(func(x int) {
+				for _, v := range iv.Block(rid, int32(x)) {
+					next.Set(int(v))
+					any = true
+				}
+			})
+		}
+		cur, next = next, cur
+		if !any {
+			buf.cur, buf.next = cur, next
+			return nil
+		}
+	}
+	buf.cur, buf.next = cur, next
+	var out []int32
+	cur.ForEach(func(x int) { out = append(out, int32(x)) })
+	return out
+}
 
 // ConflictingBlocks returns the ids of blocks with more than one fact.
 func (db *Instance) ConflictingBlocks() []BlockID {

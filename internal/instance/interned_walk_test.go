@@ -1,0 +1,85 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/words"
+)
+
+// TestInternedBlock: the CSR block index must agree with the string
+// Block accessor on every (relation, key) pair.
+func TestInternedBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 50; it++ {
+		db := New()
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "X", "Y"}[rng.Intn(3)]
+			db.AddFact(rel, string(rune('a'+rng.Intn(6))), string(rune('a'+rng.Intn(6))))
+		}
+		iv := db.Interned()
+		for r := int32(0); r < int32(iv.NumRels()); r++ {
+			for k := int32(0); k < int32(iv.NumConsts()); k++ {
+				want := db.Block(iv.Rel(r), iv.Const(k))
+				got := iv.Block(r, k)
+				if len(got) != len(want) {
+					t.Fatalf("Block(%s,%s): %v vs %v", iv.Rel(r), iv.Const(k), got, want)
+				}
+				for i, v := range got {
+					if iv.Const(v) != want[i] {
+						t.Fatalf("Block(%s,%s)[%d] = %s, want %s",
+							iv.Rel(r), iv.Const(k), i, iv.Const(v), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInternedWalkEnds: the interned walk must agree with the
+// string-keyed WalkEnds from every start constant, including words
+// containing relations absent from the instance.
+func TestInternedWalkEnds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ws := []words.Word{
+		words.MustParse("R"), words.MustParse("RR"), words.MustParse("RX"),
+		words.MustParse("RXR"), words.MustParse("A"), words.MustParse("RA"),
+	}
+	var buf WalkBuf
+	for it := 0; it < 50; it++ {
+		db := New()
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "X"}[rng.Intn(2)]
+			db.AddFact(rel, string(rune('a'+rng.Intn(5))), string(rune('a'+rng.Intn(5))))
+		}
+		iv := db.Interned()
+		for _, w := range ws {
+			rels := iv.InternWord(w)
+			for c := int32(0); c < int32(iv.NumConsts()); c++ {
+				want := db.WalkEnds(iv.Const(c), w)
+				got := iv.WalkEnds(c, rels, &buf)
+				if len(got) != len(want) {
+					t.Fatalf("WalkEnds(%s, %v): got %d ends, want %d (db=%s)",
+						iv.Const(c), w, len(got), len(want), db)
+				}
+				for _, d := range got {
+					if !want[iv.Const(d)] {
+						t.Fatalf("WalkEnds(%s, %v): spurious end %s", iv.Const(c), w, iv.Const(d))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInternWordAbsentRelation: absent relations intern to -1.
+func TestInternWordAbsentRelation(t *testing.T) {
+	db := MustParseFacts("R(a,b)")
+	iv := db.Interned()
+	rels := iv.InternWord(words.MustParse("RZR"))
+	if rels[0] < 0 || rels[1] != -1 || rels[2] != rels[0] {
+		t.Errorf("InternWord(RZR) = %v", rels)
+	}
+}

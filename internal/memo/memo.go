@@ -1,0 +1,84 @@
+// Package memo provides a small bounded LRU memo used by the solver
+// tiers to cache instance-bound artifacts per interned instance
+// snapshot (*instance.Interned). The key is compared by identity, so a
+// mutation of the underlying instance — which publishes a fresh
+// snapshot pointer — is itself the invalidation: stale entries can
+// never be looked up again and age out of the LRU order.
+package memo
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded build-once memo. Get returns the cached value for a
+// key, building it at most once per residency; when the bound is
+// exceeded the least-recently-used entry is evicted. An LRU is safe for
+// concurrent use; builds run outside the memo lock, so a slow build for
+// one key never serializes lookups of other keys.
+type LRU[K comparable, V any] struct {
+	capacity int
+
+	mu    sync.Mutex
+	order *list.List // *entry[K, V], front = most recently used
+	index map[K]*list.Element
+}
+
+// entry builds its value at most once; concurrent Gets for the same key
+// block on the entry, not on the whole memo.
+type entry[K comparable, V any] struct {
+	key  K
+	once sync.Once
+	val  V
+}
+
+// NewLRU returns an LRU bounded at capacity entries (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the memoized value for key, invoking build at most once
+// while the key is resident. An evicted value remains usable by callers
+// that already hold it; a later Get for the same key rebuilds.
+func (m *LRU[K, V]) Get(key K, build func() V) V {
+	m.mu.Lock()
+	el, ok := m.index[key]
+	if ok {
+		m.order.MoveToFront(el)
+	} else {
+		el = m.order.PushFront(&entry[K, V]{key: key})
+		m.index[key] = el
+		for m.order.Len() > m.capacity {
+			oldest := m.order.Back()
+			m.order.Remove(oldest)
+			delete(m.index, oldest.Value.(*entry[K, V]).key)
+		}
+	}
+	e := el.Value.(*entry[K, V])
+	m.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
+}
+
+// Contains reports whether key is resident (without touching the LRU
+// order). Intended for tests.
+func (m *LRU[K, V]) Contains(key K) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.index[key]
+	return ok
+}
+
+// Len returns the number of resident entries.
+func (m *LRU[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}

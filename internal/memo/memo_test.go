@@ -1,0 +1,73 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetBuildsOnce(t *testing.T) {
+	m := NewLRU[int, int](4)
+	var builds atomic.Int32
+	for i := 0; i < 5; i++ {
+		got := m.Get(7, func() int { builds.Add(1); return 42 })
+		if got != 42 {
+			t.Fatalf("Get = %d, want 42", got)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+}
+
+func TestEvictionIsLRU(t *testing.T) {
+	m := NewLRU[string, string](2)
+	id := func(s string) func() string { return func() string { return s } }
+	m.Get("a", id("a"))
+	m.Get("b", id("b"))
+	m.Get("a", id("a")) // refresh a: b is now the LRU entry
+	m.Get("c", id("c")) // evicts b, not a
+	if !m.Contains("a") || m.Contains("b") || !m.Contains("c") {
+		t.Errorf("resident after eviction: a=%v b=%v c=%v, want a and c only",
+			m.Contains("a"), m.Contains("b"), m.Contains("c"))
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+	// b rebuilds on the next Get.
+	var rebuilt bool
+	m.Get("b", func() string { rebuilt = true; return "b" })
+	if !rebuilt {
+		t.Error("evicted entry was not rebuilt")
+	}
+}
+
+func TestConcurrentGetSingleBuild(t *testing.T) {
+	m := NewLRU[int, int](8)
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				if got := m.Get(k, func() int { builds.Add(1); return k * k }); got != k*k {
+					t.Errorf("Get(%d) = %d, want %d", k, got, k*k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 8 {
+		t.Errorf("builds = %d, want 8 (one per key)", n)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	m := NewLRU[int, int](0)
+	m.Get(1, func() int { return 1 })
+	m.Get(2, func() int { return 2 })
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (capacity clamped to 1)", m.Len())
+	}
+}

@@ -20,6 +20,7 @@
 package nl
 
 import (
+	"cqa/internal/bitset"
 	"errors"
 	"fmt"
 
@@ -28,6 +29,7 @@ import (
 	"cqa/internal/fixpoint"
 	"cqa/internal/fo"
 	"cqa/internal/instance"
+	"cqa/internal/memo"
 	"cqa/internal/regex"
 	"cqa/internal/words"
 )
@@ -209,8 +211,15 @@ func clamp(x, lo, hi int) int {
 // machinery for its sub-words (the whole word when the loop is empty,
 // the exit word otherwise). Building an Evaluator pays the Decompose
 // cost — candidate enumeration plus DFA-equivalence certification —
-// exactly once; IsCertain then runs only instance-dependent work. An
-// Evaluator is immutable and safe for concurrent use.
+// exactly once; IsCertain then runs only instance-dependent work, and
+// the instance-bound artifacts of the Lemma 14 procedure (exit
+// avoidance, terminal bitsets, the loop-step graph and the predicates P
+// and O derived from them) are memoized per interned instance snapshot,
+// so repeated calls on an unchanged instance do near-zero work. A
+// mutation publishes a fresh *instance.Interned, making stale artifacts
+// unreachable — the same invalidation-by-mutation scheme as
+// fixpoint.Compiled, sharing its LRU memo policy. An Evaluator is safe
+// for concurrent use.
 type Evaluator struct {
 	q words.Word
 	d *Decomposition
@@ -220,6 +229,10 @@ type Evaluator struct {
 	// exit is the compiled fixpoint machinery for the exit word, used
 	// by the avoidance predicate when the loop is nonempty.
 	exit *fixpoint.Compiled
+	// bindings memoizes the instance-bound artifacts per interned
+	// snapshot pointer (loop decompositions only; the loop-free forms
+	// delegate to whole, which carries its own memo).
+	bindings *memo.LRU[*instance.Interned, *nlBinding]
 }
 
 // NewEvaluator decomposes q (ErrNotC2 / ErrNoCertifiedDecomposition on
@@ -236,8 +249,11 @@ func newEvaluator(q words.Word, d *Decomposition) *Evaluator {
 	e := &Evaluator{q: q.Clone(), d: d}
 	if d.Loop.IsEmpty() {
 		e.whole = fixpoint.Compile(words.Concat(d.Pre, d.Exit))
-	} else if !d.Exit.IsEmpty() {
-		e.exit = fixpoint.Compile(d.Exit)
+	} else {
+		if !d.Exit.IsEmpty() {
+			e.exit = fixpoint.Compile(d.Exit)
+		}
+		e.bindings = memo.NewLRU[*instance.Interned, *nlBinding](fixpoint.MaxBindings)
 	}
 	return e
 }
@@ -251,13 +267,9 @@ func (e *Evaluator) IsCertain(db *instance.Instance) bool {
 	if len(e.q) == 0 {
 		return true
 	}
-	o := e.computeO(db)
-	for _, c := range db.Adom() {
-		if !o[c] {
-			return true
-		}
-	}
-	return false
+	o, iv := e.computeOBits(db)
+	// Certain iff some adom constant has its O bit clear.
+	return o.Count() < iv.NumConsts()
 }
 
 // IsCertain decides CERTAINTY(q) for a C2 query via the Lemma 14
@@ -274,8 +286,16 @@ func IsCertain(db *instance.Instance, q words.Word) (bool, *Decomposition, error
 // ComputeO computes the predicate O of Lemma 14 for every constant:
 // db ⊨ O(c) iff some repair of db contains no path starting at c whose
 // trace is in the certified language pre (loop)* exitLang (Claim 4).
+// The map form is a thin conversion of the interned bitset the
+// evaluator computes; callers on hot paths should use Evaluator
+// directly.
 func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
-	return newEvaluator(d.queryWord(), d).computeO(db)
+	o, iv := newEvaluator(d.queryWord(), d).computeOBits(db)
+	out := make(map[string]bool, iv.NumConsts())
+	for c := 0; c < iv.NumConsts(); c++ {
+		out[iv.Const(int32(c))] = o.Test(c)
+	}
+	return out
 }
 
 // queryWord reconstructs the query word the decomposition covers (only
@@ -283,194 +303,279 @@ func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
 // loop-free forms and pre/exit individually otherwise).
 func (d *Decomposition) queryWord() words.Word { return words.Concat(d.Pre, d.Exit) }
 
-func (e *Evaluator) computeO(db *instance.Instance) map[string]bool {
-	d := e.d
-	adom := db.Adom()
-	o := make(map[string]bool, len(adom))
+// nlBinding holds the instance-bound artifacts of the Lemma 14
+// procedure for one (evaluator, interned snapshot) pair. Everything
+// here is a pure function of the immutable snapshot, so the binding is
+// itself immutable and safe to share across any number of concurrent
+// IsCertain calls; the build-time intermediates (exit avoidance,
+// loop-terminal bitset, the restricted loop-step CSR graph, its SCC
+// targets and the reverse-reachability predicate P) are folded into o.
+type nlBinding struct {
+	// o is the predicate O of Lemma 14 over interned constant ids.
+	o bitset.Bits
+}
 
-	if d.Loop.IsEmpty() {
+// bind returns the memoized artifacts for iv, building them on first
+// use.
+func (e *Evaluator) bind(iv *instance.Interned) *nlBinding {
+	return e.bindings.Get(iv, func() *nlBinding { return e.buildBinding(iv) })
+}
+
+// computeOBits computes the predicate O as a bitset over the interned
+// constant ids of db's current snapshot.
+func (e *Evaluator) computeOBits(db *instance.Instance) (bitset.Bits, *instance.Interned) {
+	iv := db.Interned()
+	if e.d.Loop.IsEmpty() {
 		// Pure word (sjf or loop-free exit): O(c) = c terminal for the
 		// whole word, equivalently ¬(every repair has an accepted path
 		// from c), computed by the fixpoint sub-solver on the word.
-		res := e.whole.Solve(db)
-		for _, c := range adom {
-			o[c] = !res.Has(c, 0)
+		sb := e.whole.SolveInterned(iv).StartBits()
+		o := bitset.New(iv.NumConsts())
+		for i := range o {
+			o[i] = ^sb[i]
 		}
-		return o
+		o.MaskTail(iv.NumConsts())
+		return o, iv
+	}
+	return e.bind(iv).o, iv
+}
+
+// buildBinding runs the instance-bound half of the Lemma 14 procedure
+// for one snapshot: the avoidance and terminal predicates, the
+// restricted loop-step graph, its cycle/terminal targets, reverse
+// reachability (P), and finally O via consistent pre-paths. Everything
+// is derived from iv alone, so the memoized result can never mix two
+// snapshots.
+func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
+	d := e.d
+	nc := iv.NumConsts()
+
+	// avoid: bit d set iff some repair has no path from d whose trace is
+	// in the certain language of the exit word. By Corollary 1 (via the
+	// ⪯q-minimal repair of Lemma 6, which minimizes start sets for all
+	// constants simultaneously), this is the complement of the fixpoint
+	// relation ⟨d, ε⟩ for the exit word. An empty exit cannot be avoided.
+	avoid := bitset.New(nc)
+	if e.exit != nil {
+		for i, w := range e.exit.SolveInterned(iv).StartBits() {
+			avoid[i] = ^w
+		}
+		avoid.MaskTail(nc)
 	}
 
-	avoid := e.avoidExit(db)
-	// terminal-for-loop vertices (condition (iii)); loop is
-	// self-join-free, so the Lemma 12 DP is exact.
-	loopTerminal := fo.TerminalSet(db, d.Loop)
+	// Targets: terminal-for-loop vertices that avoid the exit (condition
+	// (iii)); the loop word is self-join-free, so the Lemma 12 DP is
+	// exact.
+	loopTerminal := fo.TerminalBitset(iv, d.Loop)
+	targets := bitset.New(nc)
+	for i := range targets {
+		targets[i] = avoid[i] & loopTerminal[i]
+	}
 
 	// Loop-step graph restricted to exit-avoiding vertices (condition
-	// (ii) of the definition of P).
-	targets := make(map[string]bool)
-	adj := make(map[string][]string)
-	for _, c := range adom {
-		if !avoid[c] {
+	// (ii) of the definition of P), as a CSR over constant ids.
+	loopRels := iv.InternWord(d.Loop)
+	adjStart := make([]int32, nc+1)
+	var adjList []int32
+	var buf instance.WalkBuf
+	for c := 0; c < nc; c++ {
+		adjStart[c] = int32(len(adjList))
+		if !avoid.Test(c) {
 			continue
 		}
-		if loopTerminal[c] {
-			targets[c] = true
-		}
-		for end := range db.WalkEnds(c, d.Loop) {
-			if avoid[end] {
-				adj[c] = append(adj[c], end)
+		for _, end := range iv.WalkEnds(int32(c), loopRels, &buf) {
+			if avoid.Test(int(end)) {
+				adjList = append(adjList, end)
 			}
 		}
 	}
+	adjStart[nc] = int32(len(adjList))
+
 	// Vertices on cycles of the restricted graph are also targets
 	// (condition (iii), dℓ ∈ {d0..dℓ-1}).
-	for _, c := range cycleVertices(adj) {
-		targets[c] = true
+	for _, c := range cycleVertices(adjStart, adjList) {
+		targets.Set(int(c))
 	}
+
 	// P(d): d avoids the exit and reaches a target in the restricted
-	// graph (including d itself being a target).
-	p := make(map[string]bool)
-	for c := range targets {
-		p[c] = true
-	}
-	// Reverse reachability from targets.
-	rev := make(map[string][]string)
-	for a, bs := range adj {
-		for _, b := range bs {
-			rev[b] = append(rev[b], a)
+	// graph (including d itself being a target): reverse reachability
+	// from the targets.
+	p := reverseReach(adjStart, adjList, targets)
+
+	// O(c) = c terminal for pre, or some consistent pre-path from c ends
+	// in a vertex satisfying P.
+	preRels := iv.InternWord(d.Pre)
+	o := fo.TerminalBitset(iv, d.Pre)
+	for c := 0; c < nc; c++ {
+		if o.Test(c) {
+			continue
+		}
+		if consistentEndReaches(iv, preRels, int32(c), p) {
+			o.Set(c)
 		}
 	}
-	queue := make([]string, 0, len(targets))
-	for c := range targets {
-		queue = append(queue, c)
+	return &nlBinding{o: o}
+}
+
+// cycleVertices returns the vertices lying on a directed cycle of the
+// CSR graph (self-loops included): members of nontrivial SCCs. The SCC
+// computation is an iterative Tarjan with an explicit frame stack — the
+// restricted loop-step graph can be a chain as deep as the active
+// domain, which would overflow the stack recursively.
+func cycleVertices(adjStart, adjList []int32) []int32 {
+	n := len(adjStart) - 1
+	const unvisited = int32(-1)
+	index := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
 	}
-	for len(queue) > 0 {
-		c := queue[0]
-		queue = queue[1:]
-		for _, a := range rev[c] {
-			if !p[a] {
-				p[a] = true
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	stack := make([]int32, 0, 16)
+	type frame struct {
+		v  int32
+		ei int32 // next out-edge cursor into adjList
+	}
+	var frames []frame
+	var next int32
+	var out []int32
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		frames = append(frames[:0], frame{int32(root), adjStart[root]})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < adjStart[v+1] {
+				w := adjList[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, adjStart[w]})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] != index[v] {
+				continue
+			}
+			// v is an SCC root: pop its component (v included).
+			sccStart := len(stack) - 1
+			for stack[sccStart] != v {
+				sccStart--
+			}
+			scc := stack[sccStart:]
+			for _, w := range scc {
+				onStack[w] = false
+			}
+			if len(scc) > 1 {
+				out = append(out, scc...)
+			} else {
+				// Singleton: on a cycle only via a self-loop.
+				for ei := adjStart[v]; ei < adjStart[v+1]; ei++ {
+					if adjList[ei] == v {
+						out = append(out, v)
+						break
+					}
+				}
+			}
+			stack = stack[:sccStart]
+		}
+	}
+	return out
+}
+
+// reverseReach marks every vertex of the CSR graph that reaches a
+// target vertex (targets included): BFS from the targets over the
+// reversed edges.
+func reverseReach(adjStart, adjList []int32, targets bitset.Bits) bitset.Bits {
+	n := len(adjStart) - 1
+	p := make(bitset.Bits, len(targets))
+	copy(p, targets)
+	// Reverse CSR by counting sort.
+	revStart := make([]int32, n+1)
+	for _, w := range adjList {
+		revStart[w+1]++
+	}
+	for i := 0; i < n; i++ {
+		revStart[i+1] += revStart[i]
+	}
+	revList := make([]int32, len(adjList))
+	cursor := make([]int32, n)
+	copy(cursor, revStart[:n])
+	for v := 0; v < n; v++ {
+		for ei := adjStart[v]; ei < adjStart[v+1]; ei++ {
+			w := adjList[ei]
+			revList[cursor[w]] = int32(v)
+			cursor[w]++
+		}
+	}
+	queue := make([]int32, 0, 16)
+	targets.ForEach(func(c int) { queue = append(queue, int32(c)) })
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		for ei := revStart[c]; ei < revStart[c+1]; ei++ {
+			a := revList[ei]
+			if !p.Test(int(a)) {
+				p.Set(int(a))
 				queue = append(queue, a)
 			}
 		}
 	}
-
-	// O(c) = c terminal for pre, or some consistent pre-path from c
-	// ends in a vertex satisfying P.
-	preTerminal := fo.TerminalSet(db, d.Pre)
-	for _, c := range adom {
-		if preTerminal[c] {
-			o[c] = true
-			continue
-		}
-		for e := range consistentEnds(db, c, d.Pre) {
-			if p[e] {
-				o[c] = true
-				break
-			}
-		}
-	}
-	return o
+	return p
 }
 
-// avoidExit computes, per constant d, whether some repair has no path
-// from d whose trace is in the certain language of the exit word. By
-// Corollary 1 (via the ⪯q-minimal repair of Lemma 6, which minimizes
-// start sets for all constants simultaneously), this is the complement
-// of the fixpoint relation ⟨d, ε⟩ for the exit word. An empty exit
-// cannot be avoided.
-func (e *Evaluator) avoidExit(db *instance.Instance) map[string]bool {
-	out := make(map[string]bool)
-	if e.exit == nil {
-		return out
+// consistentEndReaches reports whether some consistent path from c with
+// trace rels ends in a constant whose P bit is set (Definition 15's
+// db |= c -pre->-> d with P(d)). The block choices committed on the
+// current path are kept in a small slice — a block revisited along a
+// consistent path must reuse its earlier choice, and pre words are
+// short, so a linear scan beats a map.
+func consistentEndReaches(iv *instance.Interned, rels []int32, c int32, p bitset.Bits) bool {
+	type choice struct {
+		rid, key, val int32
 	}
-	res := e.exit.Solve(db)
-	for _, c := range db.Adom() {
-		out[c] = !res.Has(c, 0)
-	}
-	return out
-}
-
-// cycleVertices returns the vertices lying on a directed cycle of the
-// graph (self-loops included): members of nontrivial SCCs.
-func cycleVertices(adj map[string][]string) []string {
-	index := map[string]int{}
-	low := map[string]int{}
-	onStack := map[string]bool{}
-	var stack []string
-	next := 0
-	var out []string
-	var strong func(v string)
-	strong = func(v string) {
-		index[v] = next
-		low[v] = next
-		next++
-		stack = append(stack, v)
-		onStack[v] = true
-		for _, w := range adj[v] {
-			if _, seen := index[w]; !seen {
-				strong(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
-				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
+	chosen := make([]choice, 0, len(rels))
+	var rec func(cur int32, i int) bool
+	rec = func(cur int32, i int) bool {
+		if i == len(rels) {
+			return p.Test(int(cur))
+		}
+		rid := rels[i]
+		if rid < 0 {
+			return false
+		}
+		for _, ch := range chosen {
+			if ch.rid == rid && ch.key == cur {
+				return rec(ch.val, i+1)
 			}
 		}
-		if low[v] == index[v] {
-			var scc []string
-			for {
-				w := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[w] = false
-				scc = append(scc, w)
-				if w == v {
-					break
-				}
+		for _, v := range iv.Block(rid, cur) {
+			chosen = append(chosen, choice{rid, cur, v})
+			if rec(v, i+1) {
+				return true
 			}
-			if len(scc) > 1 {
-				out = append(out, scc...)
-				return
-			}
-			// Self-loop?
-			for _, w := range adj[scc[0]] {
-				if w == scc[0] {
-					out = append(out, scc[0])
-					break
-				}
-			}
+			chosen = chosen[:len(chosen)-1]
 		}
+		return false
 	}
-	for v := range adj {
-		if _, seen := index[v]; !seen {
-			strong(v)
-		}
-	}
-	return out
-}
-
-// consistentEnds returns the endpoints of consistent paths with trace w
-// starting at c (Definition 15's db |= c -w->-> d).
-func consistentEnds(db *instance.Instance, c string, w words.Word) map[string]bool {
-	out := make(map[string]bool)
-	chosen := make(map[instance.BlockID]string)
-	var rec func(cur string, i int)
-	rec = func(cur string, i int) {
-		if i == len(w) {
-			out[cur] = true
-			return
-		}
-		rel := w[i]
-		id := instance.BlockID{Rel: rel, Key: cur}
-		if v, ok := chosen[id]; ok {
-			rec(v, i+1)
-			return
-		}
-		for _, v := range db.Block(rel, cur) {
-			chosen[id] = v
-			rec(v, i+1)
-			delete(chosen, id)
-		}
-	}
-	rec(c, 0)
-	return out
+	return rec(c, 0)
 }

@@ -102,10 +102,14 @@ type Plan struct {
 
 	// nlEval is the compiled NL evaluator; nlErr records why it is
 	// unavailable (not C2, or no certified decomposition → fixpoint
-	// fallback). Lazily built unless NL is the default tier.
+	// fallback). Lazily built unless NL is the default tier. nlNote is
+	// the decomposition rendered once at compile time — the NL tier's
+	// per-call work is interned and allocation-light, so rebuilding the
+	// diagnostic string per Execute would dominate it.
 	nlOnce sync.Once
 	nlEval *nl.Evaluator
 	nlErr  error
+	nlNote string
 
 	// fp is the compiled Figure 5 machinery, shared by the PTIME tier,
 	// the NL fallback, and forced ptime-fixpoint runs. Lazily built
@@ -185,6 +189,9 @@ func (p *Plan) Decomposition() (string, bool) {
 func (p *Plan) evaluator() (*nl.Evaluator, error) {
 	p.nlOnce.Do(func() {
 		p.nlEval, p.nlErr = nl.NewEvaluator(p.word)
+		if p.nlErr == nil {
+			p.nlNote = p.nlEval.Decomposition().String()
+		}
 	})
 	return p.nlEval, p.nlErr
 }
@@ -239,7 +246,7 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 		}
 		res.Method = MethodNL
 		res.Certain = eval.IsCertain(db)
-		res.Note = eval.Decomposition().String()
+		res.Note = p.nlNote
 	case MethodFixpoint:
 		fp := p.fixpoint().Solve(db)
 		res.Method = MethodFixpoint
