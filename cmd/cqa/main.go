@@ -9,7 +9,7 @@
 //	cqa classify <query>...
 //	cqa solve -q <query> (-db <file.csv> | -facts "R(a,b) ...") [-method M] [-cex]
 //	cqa plan -q <query>
-//	cqa batch [-file reqs.txt] [-workers N]
+//	cqa batch [-file reqs.txt] [-workers N] [-format lines|ndjson]
 //	cqa rewrite -q <query>
 //	cqa language -q <query> [-max N]
 //	cqa nfa -q <query>
@@ -24,6 +24,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -78,7 +79,10 @@ func usage() {
   cqa classify <query>...          complexity class of CERTAINTY(q) with witnesses
   cqa solve -q Q [-db F|-facts S]  decide CERTAINTY(q) on an instance
   cqa plan -q Q                    compiled execution plan for q
-  cqa batch [-file F] [-workers N] decide a batch of "query ; facts" request lines
+  cqa batch [-file F] [-workers N] [-format lines|ndjson]
+                                   decide a request batch; ndjson reads
+                                   {"query":..., "facts":[...]} lines and
+                                   streams one-line-JSON results
   cqa rewrite -q Q                 consistent FO rewriting (FO class only)
   cqa language -q Q [-max N]       rewinding closure L↬(q) up to length N
   cqa nfa -q Q                     NFA(q) in Graphviz DOT
@@ -177,14 +181,22 @@ func cmdPlan(args []string) error {
 	return nil
 }
 
-// cmdBatch reads request lines of the form "QUERY ; FACTS" (e.g.
-// "RRX ; R(0,1) R(1,2) X(2,3)") from -file or stdin and decides them
-// concurrently on one engine, so repeated query words share a compiled
-// plan.
+// cmdBatch decides request batches concurrently on one engine, so
+// repeated query words share a compiled plan. Two request formats:
+//
+//   - "lines" (default): one "QUERY ; FACTS" per line, e.g.
+//     "RRX ; R(0,1) R(1,2) X(2,3)", with aligned text output.
+//   - "ndjson": one JSON object per line,
+//     {"query": "RRX", "facts": ["R(0,1)", "R(1,2)", "X(2,3)"]},
+//     answered with streaming one-line-JSON results on stdout (requests
+//     are decided and emitted in chunks, so output starts before the
+//     whole input is read and memory stays bounded); the summary goes
+//     to stderr to keep stdout valid NDJSON.
 func cmdBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	file := fs.String("file", "", "request file (default: stdin)")
 	workers := fs.Int("workers", 0, "worker-pool size (default: GOMAXPROCS)")
+	format := fs.String("format", "lines", `request format: "lines" or "ndjson"`)
 	fs.Parse(args)
 
 	var r io.Reader = os.Stdin
@@ -196,9 +208,22 @@ func cmdBatch(args []string) error {
 		defer f.Close()
 		r = f
 	}
-	var reqs []cqa.Request
+	eng := cqa.NewEngine(cqa.EngineConfig{Workers: *workers})
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+
+	switch *format {
+	case "lines":
+		return batchLines(eng, sc)
+	case "ndjson":
+		return batchNDJSON(eng, sc)
+	default:
+		return fmt.Errorf("unknown -format %q (want lines or ndjson)", *format)
+	}
+}
+
+func batchLines(eng *cqa.Engine, sc *bufio.Scanner) error {
+	var reqs []cqa.Request
 	for lineNo := 1; sc.Scan(); lineNo++ {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -222,7 +247,6 @@ func cmdBatch(args []string) error {
 		return err
 	}
 
-	eng := cqa.NewEngine(cqa.EngineConfig{Workers: *workers})
 	for i, res := range eng.CertainBatch(context.Background(), reqs) {
 		if res.Err != nil {
 			fmt.Printf("%-4d %-12v error: %v\n", i+1, reqs[i].Query, res.Err)
@@ -234,6 +258,106 @@ func cmdBatch(args []string) error {
 	stats := eng.CacheStats()
 	fmt.Printf("# %d requests, %d plans compiled (cache: %d hits / %d misses)\n",
 		len(reqs), stats.Entries, stats.Hits, stats.Misses)
+	return nil
+}
+
+// batchRequest is one NDJSON request line.
+type batchRequest struct {
+	Query string   `json:"query"`
+	Facts []string `json:"facts"`
+}
+
+// batchResponse is one NDJSON result line. Exactly one of Error or the
+// decision fields is meaningful.
+type batchResponse struct {
+	Index   int    `json:"index"`
+	Query   string `json:"query"`
+	Certain *bool  `json:"certain,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Method  string `json:"method,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// batchChunk bounds how many NDJSON requests are in flight at once, so
+// arbitrarily long request streams run in constant memory and results
+// stream out as chunks complete.
+const batchChunk = 256
+
+func batchNDJSON(eng *cqa.Engine, sc *bufio.Scanner) error {
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+
+	total := 0
+	// A chunk holds responses in input order; reqIdx >= 0 marks a slot
+	// to be filled from the concurrent batch evaluation, -1 a request
+	// that already failed to parse.
+	type slot struct {
+		resp   batchResponse
+		reqIdx int
+	}
+	var slots []slot
+	var reqs []cqa.Request
+
+	flush := func() error {
+		results := eng.CertainBatch(context.Background(), reqs)
+		for _, sl := range slots {
+			resp := sl.resp
+			if sl.reqIdx >= 0 {
+				res := results[sl.reqIdx]
+				if res.Err != nil {
+					resp.Error = res.Err.Error()
+				} else {
+					certain := res.Certain
+					resp.Certain = &certain
+					resp.Class = res.Class.String()
+					resp.Method = string(res.Method)
+				}
+			}
+			if err := enc.Encode(resp); err != nil {
+				return err
+			}
+		}
+		slots, reqs = slots[:0], reqs[:0]
+		return out.Flush()
+	}
+
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		total++
+		var br batchRequest
+		if err := json.Unmarshal([]byte(line), &br); err != nil {
+			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
+				Index: total, Error: fmt.Sprintf("line %d: %v", lineNo, err)}})
+		} else if q, err := cqa.ParseQuery(br.Query); err != nil {
+			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
+				Index: total, Query: br.Query, Error: err.Error()}})
+		} else if db, err := instance.ParseFacts(strings.Join(br.Facts, " ")); err != nil {
+			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
+				Index: total, Query: br.Query, Error: err.Error()}})
+		} else {
+			slots = append(slots, slot{reqIdx: len(reqs), resp: batchResponse{
+				Index: total, Query: br.Query}})
+			reqs = append(reqs, cqa.Request{Query: q, DB: db})
+		}
+		if len(slots) >= batchChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	stats := eng.CacheStats()
+	fmt.Fprintf(os.Stderr, "# %d requests, %d plans compiled (cache: %d hits / %d misses)\n",
+		total, stats.Entries, stats.Hits, stats.Misses)
 	return nil
 }
 

@@ -30,8 +30,22 @@ func TestCertainDispatch(t *testing.T) {
 
 	fig3, _ := ParseFacts("A(0,a) R(a,b) R(a,c) R(b,c) R(c,b) X(c,t)")
 	res = Certain(MustParseQuery("ARRX"), fig3)
-	if res.Certain || res.Method != MethodSAT || res.Counterexample == nil {
+	if res.Certain || res.Method != MethodSAT {
 		t.Errorf("Figure 3: %+v", res)
+	}
+	// Counterexamples are materialized on demand only (the SAT tier
+	// decodes its model to interned ids; the string-keyed repair is
+	// built under WantCounterexample).
+	if res.Counterexample != nil {
+		t.Errorf("Figure 3: unexpected eager counterexample %v", res.Counterexample)
+	}
+	resCex, err := CertainOpt(MustParseQuery("ARRX"), fig3, Options{WantCounterexample: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCex.Counterexample == nil || !resCex.Counterexample.IsRepairOf(fig3) ||
+		resCex.Counterexample.Satisfies(MustParseQuery("ARRX").Word()) {
+		t.Errorf("Figure 3 with WantCounterexample: bad counterexample %v", resCex.Counterexample)
 	}
 
 	chain, _ := ParseFacts("R(a,b) R(b,c)")

@@ -1,98 +1,188 @@
 // Package conp implements the generic coNP solver tier for CERTAINTY(q):
 // a polynomial-size SAT encoding of the complement question "is there a
-// repair of db that falsifies q", solved with the CDCL solver of
-// internal/sat. It is correct for EVERY path query q (CERTAINTY(q) is in
-// coNP, Section 2 of the paper) and is the executable counterpart of the
-// SAT-based CQA systems discussed in Section 9 (e.g. CAvSAT).
+// repair of db that falsifies q", solved with the incremental CDCL
+// solver of internal/sat. It is correct for EVERY path query q
+// (CERTAINTY(q) is in coNP, Section 2 of the paper) and is the
+// executable counterpart of the SAT-based CQA systems discussed in
+// Section 9 (e.g. CAvSAT).
 //
 // Encoding. One selector variable x_f per fact f, with exactly-one
-// constraints per block (a repair picks one fact per block). One
-// reachability variable z[c,i] per constant c and query position i,
-// defined by Tseitin equivalences
+// constraints per block (a repair picks one fact per block; blocks
+// larger than a small threshold use a sequential "ladder" at-most-one,
+// so the clause count stays linear in the block size instead of
+// quadratic). One reachability variable z[c,i] per constant c and query
+// position i, defined by Tseitin equivalences
 //
 //	z[c,i] ↔ ⋁_{f = q[i](c,d) ∈ db} ( x_f ∧ z[d,i+1] ),  z[·,k] = true,
 //
 // so that under any repair assignment, z[c,0] holds iff the repair has a
-// path with trace q starting at c. Asserting ¬z[c,0] for every constant
+// path with trace q starting at c. Assuming ¬z[c,0] for every constant
 // makes the formula satisfiable iff some repair falsifies q. The
 // encoding is acyclic in i, hence linear in |db|·|q|.
+//
+// Compilation and interning. Compile captures the query-side clause
+// skeleton — the positions, the relation at each position, the shape of
+// the z-chain ladder — once per query; the instance-bound CNF is then
+// built on instance.Interned with every variable id computed by
+// arithmetic on dense interned ids (selectors from block offsets,
+// z[c,i] at constID·k+i) instead of hashed string keys, and the clause
+// literals live in one flat arena. The built encoding (CNF arena,
+// selector layout, and the lazily constructed solver with everything it
+// learns) is memoized per interned snapshot through an entry- and
+// byte-bounded internal/memo.LRU, so a warm re-decision on an unchanged
+// instance re-runs only the solver — under the same assumptions, warmed
+// by saved phases and learned clauses — and a mutation invalidates by
+// publishing a fresh snapshot pointer. Counterexample repairs are
+// decoded to interned fact ids at solve time and materialized to a
+// string-keyed *instance.Instance only on demand.
 package conp
 
 import (
+	"sync"
+
+	"cqa/internal/bitset"
 	"cqa/internal/instance"
+	"cqa/internal/memo"
 	"cqa/internal/sat"
 	"cqa/internal/words"
+)
+
+const (
+	// maxEncodings / maxEncodingBytes bound the per-query encoding memo:
+	// a CNF is O(|db|·|q|) literals, so the byte budget sheds snapshots
+	// of huge instances long before the entry bound would.
+	maxEncodings     = 16
+	maxEncodingBytes = 64 << 20
+
+	// amoPairwiseMax is the largest block encoded with the quadratic
+	// pairwise at-most-one; above it the sequential ladder (3m-4 clauses,
+	// m-1 auxiliary variables) takes over. At m=5 the pairwise count (10)
+	// is level with the ladder's (11) without its extra variables.
+	amoPairwiseMax = 5
+
+	// maxLearnedFactor bounds the learned clauses a memoized solver may
+	// accumulate across re-decisions, as a multiple of its problem
+	// clauses; beyond it the solver is rebuilt from the arena (dropping
+	// the learned database) rather than dragging it through every call.
+	maxLearnedFactor = 2
 )
 
 // Result reports the outcome of the SAT-based certainty check.
 type Result struct {
 	Certain bool
-	// Counterexample is a repair falsifying q when Certain is false.
-	Counterexample *instance.Instance
-	// Vars and Clauses describe the size of the CNF encoding.
+	// Vars and Clauses describe the size of the CNF encoding (problem
+	// clauses; learned clauses are not counted).
 	Vars    int
 	Clauses int
-	// Decisions, Propagations, Conflicts are solver statistics.
+	// Decisions, Propagations, Conflicts are solver statistics for this
+	// decision (deltas, even when the underlying solver is shared by
+	// many warm calls).
 	Decisions    uint64
 	Propagations uint64
 	Conflicts    uint64
+
+	// The counterexample is decoded to interned ids (one chosen value
+	// per block) at solve time and materialized on demand.
+	iv      *instance.Interned
+	sel     []int32
+	cexOnce sync.Once
+	cex     *instance.Instance
 }
 
-// encoder builds the CNF.
-type encoder struct {
-	s       *solverShim
-	factVar map[instance.Fact]int
-	zVar    map[zKey]int
+// Counterexample returns a repair of db falsifying q when Certain is
+// false, and nil otherwise. The repair is materialized to a
+// string-keyed instance on first call and memoized; callers that only
+// need the decision never pay for the materialization.
+func (r *Result) Counterexample() *instance.Instance {
+	if r.Certain || r.iv == nil {
+		return nil
+	}
+	r.cexOnce.Do(func() {
+		iv := r.iv
+		db := instance.New()
+		gb := 0
+		for rid := 0; rid < iv.NumRels(); rid++ {
+			rel := iv.Rel(int32(rid))
+			for _, bl := range iv.RelBlocks(int32(rid)) {
+				db.AddFact(rel, iv.Const(bl.Key), iv.Const(r.sel[gb]))
+				gb++
+			}
+		}
+		r.cex = db
+	})
+	return r.cex
 }
 
-type zKey struct {
-	c string
-	i int
+// Compiled is the query-side half of the SAT tier for one path query:
+// the clause skeleton (length, per-position relation, and the grouping
+// of positions by relation name that the encoder uses to intern each
+// distinct relation once), plus the per-snapshot encoding memo. A
+// Compiled is immutable after Compile and safe for concurrent use; the
+// per-encoding solver state is serialized internally.
+type Compiled struct {
+	q words.Word
+	k int
+	// rels / posOf: the distinct relation names of q and the positions
+	// where each occurs — the skeleton's "which z-ladders share a
+	// relation" structure.
+	rels  []string
+	posOf [][]int32
+
+	encs *memo.LRU[*instance.Interned, *encoding]
 }
 
-// solverShim counts variables before the solver exists.
-type solverShim struct {
-	nVars   int
-	clauses [][]int
+// Compile captures the clause skeleton of q for the SAT tier.
+func Compile(q words.Word) *Compiled {
+	c := &Compiled{q: q.Clone(), k: len(q)}
+	idx := make(map[string]int, c.k)
+	for i, rel := range c.q {
+		j, ok := idx[rel]
+		if !ok {
+			j = len(c.rels)
+			idx[rel] = j
+			c.rels = append(c.rels, rel)
+			c.posOf = append(c.posOf, nil)
+		}
+		c.posOf[j] = append(c.posOf[j], int32(i))
+	}
+	if c.k > 0 {
+		c.encs = memo.NewLRUWithBudget[*instance.Interned, *encoding](
+			maxEncodings, maxEncodingBytes, func(e *encoding) int64 { return e.bytes })
+	}
+	return c
 }
 
-func (s *solverShim) newVar() int {
-	s.nVars++
-	return s.nVars
+// Query returns the compiled query word.
+func (c *Compiled) Query() words.Word { return c.q.Clone() }
+
+// IsCertain decides CERTAINTY(q) on db, reusing the memoized encoding
+// (and its incremental solver) when db's interned snapshot is unchanged
+// since a previous decision.
+func (c *Compiled) IsCertain(db *instance.Instance) *Result {
+	return c.IsCertainInterned(db.Interned())
 }
 
-func (s *solverShim) add(lits ...int) {
-	c := make([]int, len(lits))
-	copy(c, lits)
-	s.clauses = append(s.clauses, c)
-}
-
-// IsCertain decides CERTAINTY(q) on db via SAT. It works for every path
-// query q.
-func IsCertain(db *instance.Instance, q words.Word) *Result {
-	if len(q) == 0 {
+// IsCertainInterned is IsCertain on an interned snapshot directly.
+func (c *Compiled) IsCertainInterned(iv *instance.Interned) *Result {
+	if c.k == 0 {
 		return &Result{Certain: true}
 	}
-	enc := &encoder{
-		s:       &solverShim{},
-		factVar: make(map[instance.Fact]int),
-		zVar:    make(map[zKey]int),
-	}
-	enc.encode(db, q)
+	e := c.encs.Get(iv, func() *encoding { return c.encode(iv) })
+	res := &Result{Vars: e.nVars, Clauses: len(e.clauseEnd)}
 
-	solver := sat.NewSolver(enc.s.nVars)
-	for _, c := range enc.s.clauses {
-		if err := solver.AddClause(c...); err != nil {
-			panic("conp: internal encoding error: " + err.Error())
-		}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.solver == nil || e.solver.NumLearned() > maxLearnedFactor*len(e.clauseEnd)+1024 {
+		e.buildSolver()
 	}
-	res := &Result{Vars: enc.s.nVars, Clauses: len(enc.s.clauses)}
-	status := solver.Solve()
-	res.Decisions, res.Propagations, res.Conflicts = solver.Stats()
+	status := e.solver.SolveAssuming(e.roots...)
+	d, p, cf := e.solver.Stats()
+	res.Decisions, res.Propagations, res.Conflicts = d-e.prevDec, p-e.prevProp, cf-e.prevConf
+	e.prevDec, e.prevProp, e.prevConf = d, p, cf
 	switch status {
 	case sat.Sat:
-		res.Certain = false
-		res.Counterexample = enc.decode(db, solver.Model())
+		res.iv = iv
+		res.sel = e.decodeSel()
 	case sat.Unsat:
 		res.Certain = true
 	default:
@@ -101,113 +191,262 @@ func IsCertain(db *instance.Instance, q words.Word) *Result {
 	return res
 }
 
-func (e *encoder) encode(db *instance.Instance, q words.Word) {
-	k := len(q)
-
-	// Selector variables and exactly-one per block.
-	for _, id := range db.Blocks() {
-		vals := db.Block(id.Rel, id.Key)
-		lits := make([]int, 0, len(vals))
-		for _, v := range vals {
-			f := instance.Fact{Rel: id.Rel, Key: id.Key, Val: v}
-			x := e.s.newVar()
-			e.factVar[f] = x
-			lits = append(lits, x)
-		}
-		e.s.add(lits...) // at least one
-		for a := 0; a < len(lits); a++ {
-			for b := a + 1; b < len(lits); b++ {
-				e.s.add(-lits[a], -lits[b]) // at most one
-			}
-		}
-	}
-
-	// Reachability variables, from the last position backwards. z[c,i]
-	// exists only when the block q[i](c,*) is nonempty; otherwise no
-	// path can start there and the variable is constant false.
-	for i := k - 1; i >= 0; i-- {
-		rel := q[i]
-		for _, id := range db.Blocks() {
-			if id.Rel != rel {
-				continue
-			}
-			z := e.s.newVar()
-			e.zVar[zKey{id.Key, i}] = z
-			// z ↔ ⋁_f (x_f ∧ z[d,i+1]).
-			var disj []int
-			for _, d := range db.Block(rel, id.Key) {
-				f := instance.Fact{Rel: rel, Key: id.Key, Val: d}
-				x := e.factVar[f]
-				zNext, nextTrue := e.zLookup(d, i+1, k)
-				if nextTrue {
-					// x_f alone implies z; and contributes x_f to the
-					// disjunction.
-					e.s.add(-x, z)
-					disj = append(disj, x)
-					continue
-				}
-				if zNext == 0 {
-					continue // successor can never start the suffix
-				}
-				a := e.s.newVar()
-				e.s.add(-a, x)
-				e.s.add(-a, zNext)
-				e.s.add(-x, -zNext, a)
-				e.s.add(-a, z)
-				disj = append(disj, a)
-			}
-			// z → ⋁ disj.
-			clause := append([]int{-z}, disj...)
-			e.s.add(clause...)
-		}
-	}
-
-	// No constant may start a q-trace path.
-	for _, c := range db.Adom() {
-		if z, ok := e.zVar[zKey{c, 0}]; ok {
-			e.s.add(-z)
-		}
-	}
-}
-
-// zLookup resolves z[d,i]; the bool result means "constant true" (i==k).
-func (e *encoder) zLookup(d string, i, k int) (int, bool) {
-	if i == k {
-		return 0, true
-	}
-	z, ok := e.zVar[zKey{d, i}]
-	if !ok {
-		return 0, false
-	}
-	return z, false
-}
-
-// decode extracts the repair from a satisfying model.
-func (e *encoder) decode(db *instance.Instance, model []bool) *instance.Instance {
-	r := instance.New()
-	for f, v := range e.factVar {
-		if model[v] {
-			r.Add(f)
-		}
-	}
-	// Blocks whose relation does not occur in q still need a choice to
-	// form a full repair; the encoding covers all blocks via selectors,
-	// so r is already complete.
-	_ = db
-	return r
+// IsCertain decides CERTAINTY(q) on db via SAT. It works for every path
+// query q. It compiles q per call; serving paths hold a Compiled (the
+// plan layer does) and let its snapshot memo absorb repeated decisions.
+func IsCertain(db *instance.Instance, q words.Word) *Result {
+	return Compile(q).IsCertain(db)
 }
 
 // EncodingSize returns the CNF size (vars, clauses) of the encoding for
-// db and q without solving; used by benchmarks.
+// db and q without solving; used by tests and benchmarks.
 func EncodingSize(db *instance.Instance, q words.Word) (int, int) {
 	if len(q) == 0 {
 		return 0, 0
 	}
-	enc := &encoder{
-		s:       &solverShim{},
-		factVar: make(map[instance.Fact]int),
-		zVar:    make(map[zKey]int),
+	c := Compile(q)
+	iv := db.Interned()
+	e := c.encs.Get(iv, func() *encoding { return c.encode(iv) })
+	return e.nVars, len(e.clauseEnd)
+}
+
+// encoding is the instance-bound CNF for one (query, interned snapshot)
+// pair: the clause arena, the dense variable layout, and the lazily
+// built incremental solver. The arena and layout are immutable after
+// encode; solver access is serialized by mu (the solver is stateful
+// across SolveAssuming calls).
+type encoding struct {
+	iv *instance.Interned
+	k  int
+
+	// Variable layout. Selector variables come first, one per fact,
+	// assigned densely in (relation id, block key) order:
+	// x(global block gb, value index vi) = selOff[gb] + vi + 1, with
+	// relBlockStart mapping a relation id to its first global block.
+	// Then the z ladder at a fixed stride: z(c, i) = zBase + c·k + i + 1.
+	// Tseitin and at-most-one ladder auxiliaries follow.
+	relBlockStart []int32
+	selOff        []int32
+	zBase         int32
+	nVars         int
+
+	// rids[i] is the interned relation id of q[i] (-1 when absent).
+	rids []int32
+
+	// The clause arena: clause j is arena[clauseEnd[j-1]:clauseEnd[j]].
+	arena     []int32
+	clauseEnd []int32
+
+	// roots are the assumption literals ¬z[c,0], one per block of q[0]'s
+	// relation: the "no constant starts a q-trace path" constraints kept
+	// out of the clause database so the same CNF could be re-solved
+	// under other assumption sets.
+	roots []int
+
+	// bytes prices the encoding for the memo budget: the arena and
+	// layout, times a factor for the solver's own copy of every clause
+	// plus its watch lists.
+	bytes int64
+
+	mu                          sync.Mutex
+	solver                      *sat.Solver
+	prevDec, prevProp, prevConf uint64
+}
+
+// encode builds the CNF for iv from the compiled skeleton.
+func (c *Compiled) encode(iv *instance.Interned) *encoding {
+	k := c.k
+	nc := iv.NumConsts()
+	nr := iv.NumRels()
+	e := &encoding{iv: iv, k: k}
+
+	// Selector layout: enumerate blocks relation-major in interned
+	// order; prefix sums over block sizes give each fact its variable.
+	nblocks := 0
+	e.relBlockStart = make([]int32, nr+1)
+	for r := 0; r < nr; r++ {
+		e.relBlockStart[r] = int32(nblocks)
+		nblocks += len(iv.RelBlocks(int32(r)))
 	}
-	enc.encode(db, q)
-	return enc.s.nVars, len(enc.s.clauses)
+	e.relBlockStart[nr] = int32(nblocks)
+	e.selOff = make([]int32, nblocks+1)
+	var off int32
+	gb := 0
+	for r := 0; r < nr; r++ {
+		for _, bl := range iv.RelBlocks(int32(r)) {
+			e.selOff[gb] = off
+			off += int32(len(bl.Vals))
+			gb++
+		}
+	}
+	e.selOff[nblocks] = off
+	e.zBase = off
+	nVars := int(off) + nc*k // selectors + the full z ladder
+
+	// Intern each distinct relation of q once (the skeleton knows which
+	// positions share it) and precompute, per relation, the set of key
+	// constants owning a nonempty block — the liveness test for z[d,i]:
+	// a position whose block is empty can never start the suffix, so
+	// the ladder skips it (the variable stays free and unreferenced).
+	e.rids = make([]int32, k)
+	keys := make([]bitset.Bits, nr)
+	for j, rel := range c.rels {
+		rid, ok := iv.RelID(rel)
+		if !ok {
+			rid = -1
+		}
+		for _, i := range c.posOf[j] {
+			e.rids[i] = rid
+		}
+		if rid >= 0 && keys[rid] == nil {
+			b := bitset.New(nc)
+			for _, bl := range iv.RelBlocks(rid) {
+				b.Set(int(bl.Key))
+			}
+			keys[rid] = b
+		}
+	}
+
+	end := func() { e.clauseEnd = append(e.clauseEnd, int32(len(e.arena))) }
+
+	// Exactly-one selector per block.
+	gb = 0
+	for r := 0; r < nr; r++ {
+		for _, bl := range iv.RelBlocks(int32(r)) {
+			base := e.selOff[gb] + 1 // variable of bl.Vals[0]
+			m := len(bl.Vals)
+			for vi := 0; vi < m; vi++ {
+				e.arena = append(e.arena, base+int32(vi))
+			}
+			end() // at least one
+			if m <= amoPairwiseMax {
+				for a := 0; a < m; a++ {
+					for b := a + 1; b < m; b++ {
+						e.arena = append(e.arena, -(base + int32(a)), -(base + int32(b)))
+						end()
+					}
+				}
+			} else {
+				// Sequential ladder: s_i ("some of the first i selectors
+				// is true") for i = 1..m-1, linear in m.
+				s := int32(nVars) // s(i) = s + i, for i in 1..m-1
+				nVars += m - 1
+				for i := 1; i < m; i++ {
+					e.arena = append(e.arena, -(base + int32(i-1)), s+int32(i))
+					end() // x_i → s_i
+				}
+				for i := 2; i < m; i++ {
+					e.arena = append(e.arena, -(s + int32(i-1)), s+int32(i))
+					end() // s_{i-1} → s_i
+				}
+				for i := 2; i <= m; i++ {
+					e.arena = append(e.arena, -(base + int32(i-1)), -(s + int32(i-1)))
+					end() // x_i → ¬s_{i-1}
+				}
+			}
+			gb++
+		}
+	}
+
+	// The z-chain ladders, from the last position backwards.
+	zvar := func(cst int32, i int) int32 { return e.zBase + cst*int32(k) + int32(i) + 1 }
+	var disj []int32
+	for i := k - 1; i >= 0; i-- {
+		rid := e.rids[i]
+		if rid < 0 {
+			continue
+		}
+		var nextKeys bitset.Bits
+		if i+1 < k && e.rids[i+1] >= 0 {
+			nextKeys = keys[e.rids[i+1]]
+		}
+		gbBase := e.relBlockStart[rid]
+		for bi, bl := range iv.RelBlocks(rid) {
+			z := zvar(bl.Key, i)
+			selBase := e.selOff[gbBase+int32(bi)] + 1
+			disj = disj[:0]
+			for vi, d := range bl.Vals {
+				x := selBase + int32(vi)
+				if i+1 == k {
+					// The suffix after the last position is ε: true.
+					e.arena = append(e.arena, -x, z)
+					end() // x_f → z
+					disj = append(disj, x)
+					continue
+				}
+				if nextKeys == nil || !nextKeys.Test(int(d)) {
+					continue // successor can never start the suffix
+				}
+				zn := zvar(d, i+1)
+				nVars++
+				a := int32(nVars) // a ↔ x_f ∧ z[d,i+1]
+				e.arena = append(e.arena, -a, x)
+				end()
+				e.arena = append(e.arena, -a, zn)
+				end()
+				e.arena = append(e.arena, -x, -zn, a)
+				end()
+				e.arena = append(e.arena, -a, z)
+				end()
+				disj = append(disj, a)
+			}
+			// z → ⋁ disj.
+			e.arena = append(e.arena, -z)
+			e.arena = append(e.arena, disj...)
+			end()
+		}
+	}
+
+	// Assume ¬z[c,0] for every constant that could start a path.
+	if e.rids[0] >= 0 {
+		for _, bl := range iv.RelBlocks(e.rids[0]) {
+			e.roots = append(e.roots, -int(zvar(bl.Key, 0)))
+		}
+	}
+
+	e.nVars = nVars
+	base := int64(len(e.arena)+len(e.clauseEnd)+len(e.selOff)+len(e.relBlockStart)+len(e.rids)) * 4
+	e.bytes = base * 5 // ×5: the solver holds its own clause copies plus watch lists
+	return e
+}
+
+// buildSolver (re)loads the arena into a fresh incremental solver.
+// Caller holds e.mu.
+func (e *encoding) buildSolver() {
+	s := sat.NewSolver(e.nVars)
+	var lits []int
+	var start int32
+	for _, ce := range e.clauseEnd {
+		lits = lits[:0]
+		for _, l := range e.arena[start:ce] {
+			lits = append(lits, int(l))
+		}
+		s.AddClauseFrom(lits)
+		start = ce
+	}
+	e.solver = s
+	e.prevDec, e.prevProp, e.prevConf = 0, 0, 0
+}
+
+// decodeSel reads the chosen value id of every block out of the model.
+// Caller holds e.mu (the model lives in the shared solver).
+func (e *encoding) decodeSel() []int32 {
+	m := e.solver.Model()
+	iv := e.iv
+	sel := make([]int32, len(e.selOff)-1)
+	gb := 0
+	for r := 0; r < iv.NumRels(); r++ {
+		for _, bl := range iv.RelBlocks(int32(r)) {
+			base := e.selOff[gb] + 1
+			sel[gb] = bl.Vals[0]
+			for vi := range bl.Vals {
+				if m[base+int32(vi)] {
+					sel[gb] = bl.Vals[vi]
+					break
+				}
+			}
+			gb++
+		}
+	}
+	return sel
 }

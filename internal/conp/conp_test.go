@@ -1,6 +1,7 @@
 package conp
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestFigure2(t *testing.T) {
 	if !res.Certain {
 		t.Fatal("Figure 2 is a yes-instance of CERTAINTY(RRX)")
 	}
-	if res.Counterexample != nil {
+	if res.Counterexample() != nil {
 		t.Error("yes-instance must have no counterexample")
 	}
 }
@@ -27,7 +28,7 @@ func TestFigure3(t *testing.T) {
 	if res.Certain {
 		t.Fatal("Figure 3 is a no-instance of CERTAINTY(ARRX)")
 	}
-	cex := res.Counterexample
+	cex := res.Counterexample()
 	if cex == nil || !cex.IsRepairOf(db) {
 		t.Fatalf("bad counterexample: %v", cex)
 	}
@@ -60,9 +61,9 @@ func TestAgainstExhaustiveAllClasses(t *testing.T) {
 				t.Fatalf("it=%d db=%s q=%v: sat=%v exhaustive=%v", it, db, q, res.Certain, want)
 			}
 			if !res.Certain {
-				if res.Counterexample == nil || !res.Counterexample.IsRepairOf(db) ||
-					res.Counterexample.Satisfies(q) {
-					t.Fatalf("it=%d db=%s q=%v: invalid counterexample %v", it, db, q, res.Counterexample)
+				cex := res.Counterexample()
+				if cex == nil || !cex.IsRepairOf(db) || cex.Satisfies(q) {
+					t.Fatalf("it=%d db=%s q=%v: invalid counterexample %v", it, db, q, cex)
 				}
 			}
 		}
@@ -112,5 +113,37 @@ func TestStatsPopulated(t *testing.T) {
 	res := IsCertain(db, words.MustParse("ARRX"))
 	if res.Propagations == 0 {
 		t.Error("expected solver activity")
+	}
+}
+
+// TestEncodingSizeLinearAMO: the at-most-one clause count must grow
+// linearly (sequential ladder), not quadratically (pairwise), in the
+// block size. The block lives under a relation absent from q, so the
+// encoding is exactly one exactly-one constraint.
+func TestEncodingSizeLinearAMO(t *testing.T) {
+	q := words.MustParse("RRX")
+	mk := func(m int) *instance.Instance {
+		db := instance.New()
+		for i := 0; i < m; i++ {
+			db.AddFact("S", "k", fmt.Sprintf("v%03d", i))
+		}
+		return db
+	}
+	_, c40 := EncodingSize(mk(40), q)
+	_, c80 := EncodingSize(mk(80), q)
+	// Ladder: 3m-3 clauses (117 / 237). Pairwise would be 1+m(m-1)/2
+	// (781 / 3161): both assertions below reject it.
+	if float64(c80) > 2.3*float64(c40) {
+		t.Errorf("at-most-one growth not linear: clauses(40)=%d clauses(80)=%d", c40, c80)
+	}
+	if c80 > 4*80 {
+		t.Errorf("clauses(80) = %d, want <= %d (linear bound)", c80, 4*80)
+	}
+	// Doubling a block must also keep answers correct: exactly-one is
+	// still enforced through the ladder.
+	db := mk(7)
+	db.AddFact("R", "k", "v000")
+	if got := IsCertain(db, q).Certain; got {
+		t.Error("no X facts: cannot be certain")
 	}
 }

@@ -136,6 +136,17 @@ type Compiled struct {
 // instance snapshots.
 const MaxBindings = 16
 
+// MaxBindingBytes bounds the same memo by size: a binding is
+// O(|q|·|adom|) int32s, so serving a few very large instances through
+// one plan sheds old snapshots by bytes long before the entry bound
+// bites.
+const MaxBindingBytes = 32 << 20
+
+// bindingBytes prices a binding for the memo's byte budget.
+func bindingBytes(b *binding) int64 {
+	return 4 * int64(len(b.blockKey)+len(b.pendingInit)+len(b.refStart)+len(b.refList))
+}
+
 // binding is the instance-side half of the Figure 5 machinery for one
 // (compiled query, interned instance snapshot) pair: one block state
 // per (position v, block of relation q[v]) pair, plus a CSR index from
@@ -227,7 +238,7 @@ func Compile(q words.Word) *Compiled {
 		nfa:         automata.New(q),
 		backSources: make([][]int, n+1),
 		positions:   make(map[string][]int, n),
-		bindings:    memo.NewLRU[*instance.Interned, *binding](MaxBindings),
+		bindings:    memo.NewLRUWithBudget[*instance.Interned, *binding](MaxBindings, MaxBindingBytes, bindingBytes),
 	}
 	for u := 0; u <= n; u++ {
 		c.backSources[u] = c.nfa.BackwardSources(u)

@@ -4,24 +4,35 @@
 // mutation of the underlying instance — which publishes a fresh
 // snapshot pointer — is itself the invalidation: stale entries can
 // never be looked up again and age out of the LRU order.
+//
+// Memos are bounded two ways: by entry count, and (optionally) by a
+// byte budget with a per-entry cost function, so that a handful of
+// huge artifacts — a conp CNF is O(|db|·|q|), a fixpoint binding
+// O(|q|·|adom|) — cannot pin unbounded memory behind a small entry
+// count.
 package memo
 
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // LRU is a bounded build-once memo. Get returns the cached value for a
-// key, building it at most once per residency; when the bound is
-// exceeded the least-recently-used entry is evicted. An LRU is safe for
-// concurrent use; builds run outside the memo lock, so a slow build for
-// one key never serializes lookups of other keys.
+// key, building it at most once per residency; when either bound (entry
+// count, or the optional byte budget) is exceeded the least-recently-
+// used entries are evicted. An LRU is safe for concurrent use; builds
+// run outside the memo lock, so a slow build for one key never
+// serializes lookups of other keys.
 type LRU[K comparable, V any] struct {
 	capacity int
+	budget   int64 // 0 = unbounded by cost
+	cost     func(V) int64
 
 	mu    sync.Mutex
 	order *list.List // *entry[K, V], front = most recently used
 	index map[K]*list.Element
+	total int64 // summed cost of charged resident entries
 }
 
 // entry builds its value at most once; concurrent Gets for the same key
@@ -30,15 +41,38 @@ type entry[K comparable, V any] struct {
 	key  K
 	once sync.Once
 	val  V
+	// cost accounting happens after the build (the value must exist to
+	// be costed); evicted guards an entry whose build finished after it
+	// was already displaced, so it is never charged to the total.
+	// charged is atomic so warm hits skip the accounting lock entirely.
+	cost    int64
+	charged atomic.Bool
+	evicted bool
 }
 
-// NewLRU returns an LRU bounded at capacity entries (minimum 1).
+// NewLRU returns an LRU bounded at capacity entries (minimum 1), with
+// no byte budget.
 func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return NewLRUWithBudget[K, V](capacity, 0, nil)
+}
+
+// NewLRUWithBudget returns an LRU bounded at capacity entries AND at
+// budget summed cost units (conventionally bytes), where cost prices a
+// built value. A budget <= 0 or a nil cost function disables the cost
+// bound. A single entry over budget stays resident on its own — the
+// memo never evicts the only entry, so a pathologically large artifact
+// still serves warm calls instead of thrashing.
+func NewLRUWithBudget[K comparable, V any](capacity int, budget int64, cost func(V) int64) *LRU[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if budget <= 0 || cost == nil {
+		budget, cost = 0, nil
+	}
 	return &LRU[K, V]{
 		capacity: capacity,
+		budget:   budget,
+		cost:     cost,
 		order:    list.New(),
 		index:    make(map[K]*list.Element),
 	}
@@ -56,15 +90,49 @@ func (m *LRU[K, V]) Get(key K, build func() V) V {
 		el = m.order.PushFront(&entry[K, V]{key: key})
 		m.index[key] = el
 		for m.order.Len() > m.capacity {
-			oldest := m.order.Back()
-			m.order.Remove(oldest)
-			delete(m.index, oldest.Value.(*entry[K, V]).key)
+			m.evictOldest()
 		}
 	}
 	e := el.Value.(*entry[K, V])
 	m.mu.Unlock()
 	e.once.Do(func() { e.val = build() })
+	if m.cost != nil && !e.charged.Load() {
+		m.charge(e)
+	}
 	return e.val
+}
+
+// evictOldest removes the least-recently-used entry. Caller holds mu.
+func (m *LRU[K, V]) evictOldest() {
+	oldest := m.order.Back()
+	if oldest == nil {
+		return
+	}
+	m.order.Remove(oldest)
+	en := oldest.Value.(*entry[K, V])
+	delete(m.index, en.key)
+	en.evicted = true
+	if en.charged.Load() {
+		m.total -= en.cost
+	}
+}
+
+// charge records a freshly built entry's cost and sheds LRU entries
+// until the memo fits its budget again (never below one resident
+// entry). An entry evicted while its build was in flight is not
+// charged: its value goes to the caller but holds no residency.
+func (m *LRU[K, V]) charge(e *entry[K, V]) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.evicted || e.charged.Load() {
+		return
+	}
+	e.cost = m.cost(e.val)
+	e.charged.Store(true)
+	m.total += e.cost
+	for m.total > m.budget && m.order.Len() > 1 {
+		m.evictOldest()
+	}
 }
 
 // Contains reports whether key is resident (without touching the LRU
@@ -81,4 +149,13 @@ func (m *LRU[K, V]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.order.Len()
+}
+
+// CostTotal returns the summed cost of the charged resident entries
+// (always 0 without a cost function). Intended for tests and
+// diagnostics.
+func (m *LRU[K, V]) CostTotal() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
 }

@@ -63,6 +63,76 @@ func TestConcurrentGetSingleBuild(t *testing.T) {
 	}
 }
 
+func TestBudgetEviction(t *testing.T) {
+	m := NewLRUWithBudget[string, int](8, 100, func(v int) int64 { return int64(v) })
+	m.Get("a", func() int { return 40 })
+	m.Get("b", func() int { return 40 })
+	if got := m.CostTotal(); got != 80 {
+		t.Fatalf("CostTotal = %d, want 80", got)
+	}
+	// c pushes the total to 120 > 100: a (the LRU entry) must go.
+	m.Get("c", func() int { return 40 })
+	if m.Contains("a") || !m.Contains("b") || !m.Contains("c") {
+		t.Errorf("resident: a=%v b=%v c=%v, want b and c only",
+			m.Contains("a"), m.Contains("b"), m.Contains("c"))
+	}
+	if got := m.CostTotal(); got != 80 {
+		t.Errorf("CostTotal after eviction = %d, want 80", got)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestBudgetKeepsSingleOversizedEntry(t *testing.T) {
+	m := NewLRUWithBudget[string, int](4, 100, func(v int) int64 { return int64(v) })
+	m.Get("huge", func() int { return 500 })
+	if !m.Contains("huge") || m.Len() != 1 {
+		t.Error("a single over-budget entry must stay resident")
+	}
+	// A second entry forces the older oversized one out.
+	m.Get("small", func() int { return 10 })
+	if m.Contains("huge") || !m.Contains("small") {
+		t.Errorf("resident: huge=%v small=%v, want small only", m.Contains("huge"), m.Contains("small"))
+	}
+	if got := m.CostTotal(); got != 10 {
+		t.Errorf("CostTotal = %d, want 10", got)
+	}
+}
+
+func TestCapacityEvictionKeepsCostAccounting(t *testing.T) {
+	m := NewLRUWithBudget[int, int](2, 1000, func(v int) int64 { return int64(v) })
+	m.Get(1, func() int { return 5 })
+	m.Get(2, func() int { return 7 })
+	m.Get(3, func() int { return 11 }) // capacity evicts key 1 (cost 5)
+	if got := m.CostTotal(); got != 18 {
+		t.Errorf("CostTotal = %d, want 18", got)
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	m := NewLRUWithBudget[int, int](16, 64, func(v int) int64 { return 8 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 32; k++ {
+				if got := m.Get(k, func() int { return k * 3 }); got != k*3 {
+					t.Errorf("Get(%d) = %d", k, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total := m.CostTotal(); total > 64 {
+		t.Errorf("CostTotal = %d, want <= 64", total)
+	}
+	if n := m.Len(); n > 8 {
+		t.Errorf("Len = %d, want <= 8 (budget 64 / cost 8)", n)
+	}
+}
+
 func TestMinimumCapacity(t *testing.T) {
 	m := NewLRU[int, int](0)
 	m.Get(1, func() int { return 1 })

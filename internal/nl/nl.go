@@ -253,7 +253,11 @@ func newEvaluator(q words.Word, d *Decomposition) *Evaluator {
 		if !d.Exit.IsEmpty() {
 			e.exit = fixpoint.Compile(d.Exit)
 		}
-		e.bindings = memo.NewLRU[*instance.Interned, *nlBinding](fixpoint.MaxBindings)
+		// Entry- and byte-bounded like the fixpoint binding memo; an NL
+		// binding is one word-per-64-constants bitset.
+		e.bindings = memo.NewLRUWithBudget[*instance.Interned, *nlBinding](
+			fixpoint.MaxBindings, fixpoint.MaxBindingBytes,
+			func(b *nlBinding) int64 { return 8 * int64(len(b.o)) })
 	}
 	return e
 }

@@ -13,7 +13,9 @@
 //     its sub-words (nl.Evaluator);
 //   - PTIME (condition C3): the Figure 5 fixpoint machinery — NFA(q)
 //     and its backward ε-transition table (fixpoint.Compiled);
-//   - coNP: nothing query-side (the SAT encoding is instance-bound).
+//   - coNP: the SAT clause skeleton of conp.Compiled (per-position
+//     relations and the z-chain ladder shape), whose instance-bound CNF
+//     is then memoized per interned snapshot.
 //
 // Artifacts for non-default tiers (a forced method, or the fixpoint
 // fallback when no certified NL decomposition exists) are compiled
@@ -62,10 +64,12 @@ type Result struct {
 	// starting at c (set on yes-instances decided by the fixpoint
 	// tier).
 	Witness string
-	// Counterexample is a repair falsifying q. The SAT and exhaustive
-	// tiers produce one as a byproduct on every no-instance; the
-	// fixpoint tier builds its Lemma 10 minimal repair only when
-	// Options.WantCounterexample is set.
+	// Counterexample is a repair falsifying q, built only when
+	// Options.WantCounterexample is set: the fixpoint tier's Lemma 10
+	// minimal repair and the SAT tier's model decode both materialize a
+	// string-keyed instance, which would dominate warm no-instance
+	// decisions on serving paths. The exhaustive tier still produces one
+	// as a byproduct.
 	Counterexample *instance.Instance
 	// Note carries diagnostic detail, e.g. the NL decomposition or a
 	// fallback reason.
@@ -116,6 +120,13 @@ type Plan struct {
 	// unless it is the default tier.
 	fpOnce sync.Once
 	fp     *fixpoint.Compiled
+
+	// satC is the compiled SAT tier: the query-side clause skeleton plus
+	// the per-snapshot CNF memo. Lazily built unless SAT is the default
+	// tier (it also serves WantCounterexample requests from tiers that
+	// produce no counterexample of their own).
+	satOnce sync.Once
+	satC    *conp.Compiled
 }
 
 // Compile classifies q and precomputes the artifacts of its default
@@ -138,6 +149,7 @@ func Compile(w words.Word) *Plan {
 		p.fixpoint()
 	default:
 		p.method = MethodSAT
+		p.conp()
 	}
 	return p
 }
@@ -204,6 +216,14 @@ func (p *Plan) fixpoint() *fixpoint.Compiled {
 	return p.fp
 }
 
+// conp memoizes the compiled SAT tier.
+func (p *Plan) conp() *conp.Compiled {
+	p.satOnce.Do(func() {
+		p.satC = conp.Compile(p.word)
+	})
+	return p.satC
+}
+
 // Certain decides CERTAINTY(q) on db with automatic tier dispatch.
 func (p *Plan) Certain(db *instance.Instance) Result {
 	r, err := p.Execute(db, Options{})
@@ -260,10 +280,14 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 			res.Counterexample = fixpoint.CounterexampleRepair(db, p.word, fp)
 		}
 	case MethodSAT:
-		out := conp.IsCertain(db, p.word)
+		out := p.conp().IsCertain(db)
 		res.Method = MethodSAT
 		res.Certain = out.Certain
-		res.Counterexample = out.Counterexample
+		if opts.WantCounterexample {
+			// The repair is already decoded to interned ids; only the
+			// string-keyed materialization is on demand.
+			res.Counterexample = out.Counterexample()
+		}
 	case MethodExhaustive:
 		res.Method = MethodExhaustive
 		res.Certain = repairs.IsCertain(db, p.word)
@@ -275,7 +299,7 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 	}
 
 	if opts.WantCounterexample && !res.Certain && res.Counterexample == nil {
-		res.Counterexample = conp.IsCertain(db, p.word).Counterexample
+		res.Counterexample = p.conp().IsCertain(db).Counterexample()
 	}
 	return res, nil
 }

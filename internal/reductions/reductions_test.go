@@ -123,7 +123,7 @@ func TestFigure9Worked(t *testing.T) {
 	if res.Certain {
 		t.Error("satisfiable formula must yield a NO-instance")
 	}
-	if res.Counterexample == nil {
+	if res.Counterexample() == nil {
 		t.Error("expected a counterexample repair encoding the assignment")
 	}
 }

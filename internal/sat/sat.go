@@ -1,10 +1,19 @@
-// Package sat implements a CDCL (conflict-driven clause learning) SAT
-// solver over CNF formulas: two-watched-literal propagation, first-UIP
-// conflict analysis with clause learning, VSIDS-style activity-based
-// branching with phase saving, and Luby restarts. It is the generic
-// substrate for the coNP solver tier (Section 7.2 of the paper shows
-// coNP-hardness via SAT; practical CQA systems such as CAvSAT, discussed
-// in Section 9, use SAT solvers in the same role).
+// Package sat implements an incremental CDCL (conflict-driven clause
+// learning) SAT solver over CNF formulas: two-watched-literal
+// propagation, first-UIP conflict analysis with clause learning,
+// VSIDS activity-based branching over a lazy max-heap with phase
+// saving, Luby restarts, and MiniSat-style assumption solving. It is
+// the generic substrate for the coNP solver tier (Section 7.2 of the
+// paper shows coNP-hardness via SAT; practical CQA systems such as
+// CAvSAT, discussed in Section 9, use SAT solvers in the same role).
+//
+// A Solver is reusable: SolveAssuming resets the search trail to the
+// root level, so the same clause database — including everything
+// learned by earlier calls — can be re-solved under different
+// assumption literals without re-adding clauses. This is what lets the
+// coNP tier memoize one encoded CNF per instance snapshot and pay only
+// the search (warmed by saved phases and learned clauses) on repeated
+// decisions.
 //
 // Literals are nonzero integers in the DIMACS convention: +v is the
 // positive literal of variable v (1-based), -v its negation.
@@ -13,7 +22,6 @@ package sat
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Status is the result of solving.
@@ -22,7 +30,8 @@ type Status int
 const (
 	// Sat means a satisfying assignment was found.
 	Sat Status = iota
-	// Unsat means the formula is unsatisfiable.
+	// Unsat means the formula (under the given assumptions, if any) is
+	// unsatisfiable.
 	Unsat
 	// Unknown means the solver hit its conflict budget.
 	Unknown
@@ -50,15 +59,18 @@ const (
 )
 
 type clause struct {
-	lits    []int
-	learned bool
+	lits []int
 }
 
-// Solver is a CDCL SAT solver instance. Create with NewSolver, add
-// clauses with AddClause, then call Solve.
+// Solver is an incremental CDCL SAT solver instance. Create with
+// NewSolver, add clauses with AddClause (or AddClauseFrom), then call
+// Solve or SolveAssuming — repeatedly, and interleaved with further
+// clause additions. A Solver is stateful and NOT safe for concurrent
+// use; callers that share one (the conp encoding memo) serialize.
 type Solver struct {
 	nVars   int
-	clauses []*clause
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses (persist across solves)
 	// watches[litIndex] = clauses watching that literal.
 	watches [][]*clause
 
@@ -67,16 +79,31 @@ type Solver struct {
 	reason   []*clause
 	trail    []int // assigned literals in order
 	trailLim []int
+	qhead    int // propagation cursor into trail (persists at level 0)
 
 	activity []float64
 	varInc   float64
 	phase    []int8
 
+	// order is the VSIDS branching heap: variables by activity,
+	// max-first, with lazy deletion (assigned variables are skipped at
+	// pop time and re-inserted on backtrack).
+	order    []int32
+	orderPos []int32 // orderPos[v] = index in order, -1 when absent
+
+	// attached counts the prefix of clauses whose watches (or root-level
+	// units) have been installed; clauses added after the last solve are
+	// attached at the start of the next one, under the then-current
+	// root-level assignment.
+	attached  int
+	rootUnsat bool // the formula is unsatisfiable without assumptions
+
 	propagations uint64
 	conflicts    uint64
 	decisions    uint64
 
-	// MaxConflicts bounds the search; 0 means unbounded.
+	// MaxConflicts bounds the search (cumulatively across calls);
+	// 0 means unbounded.
 	MaxConflicts uint64
 }
 
@@ -90,7 +117,14 @@ func NewSolver(nVars int) *Solver {
 		reason:   make([]*clause, nVars+1),
 		activity: make([]float64, nVars+1),
 		phase:    make([]int8, nVars+1),
+		order:    make([]int32, 0, nVars),
+		orderPos: make([]int32, nVars+1),
 		varInc:   1,
+	}
+	// All activities start equal, so insertion order is a valid heap.
+	for v := 1; v <= nVars; v++ {
+		s.orderPos[v] = int32(len(s.order))
+		s.order = append(s.order, int32(v))
 	}
 	return s
 }
@@ -99,17 +133,16 @@ func NewSolver(nVars int) *Solver {
 func (s *Solver) NumVars() int { return s.nVars }
 
 // NumClauses returns the number of problem clauses added.
-func (s *Solver) NumClauses() int {
-	n := 0
-	for _, c := range s.clauses {
-		if !c.learned {
-			n++
-		}
-	}
-	return n
-}
+func (s *Solver) NumClauses() int { return len(s.clauses) }
 
-// Stats returns (decisions, propagations, conflicts).
+// NumLearned returns the number of clauses learned so far. Callers that
+// keep a Solver hot across many re-decisions can use it to decide when
+// the learned-clause database has outgrown its usefulness and a rebuild
+// is cheaper than carrying it.
+func (s *Solver) NumLearned() int { return len(s.learnts) }
+
+// Stats returns (decisions, propagations, conflicts), cumulative across
+// all Solve calls.
 func (s *Solver) Stats() (uint64, uint64, uint64) {
 	return s.decisions, s.propagations, s.conflicts
 }
@@ -138,7 +171,8 @@ func (s *Solver) value(l int) int8 {
 
 // AddClause adds a clause (a disjunction of literals). Duplicate
 // literals are removed; tautologies are ignored. Adding an empty clause
-// makes the formula trivially unsatisfiable.
+// makes the formula trivially unsatisfiable. Clauses may be added
+// between Solve calls; watches are installed at the next solve.
 func (s *Solver) AddClause(lits ...int) error {
 	seen := make(map[int]bool, len(lits))
 	var out []int
@@ -154,19 +188,68 @@ func (s *Solver) AddClause(lits ...int) error {
 			out = append(out, l)
 		}
 	}
-	sort.Ints(out)
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	if len(out) >= 2 {
-		s.watch(c, out[0])
-		s.watch(c, out[1])
-	}
+	s.clauses = append(s.clauses, &clause{lits: out})
 	return nil
+}
+
+// AddClauseFrom appends a copy of lits as a clause, skipping the
+// validation, deduplication and tautology filtering of AddClause. The
+// caller must guarantee the literals are nonzero, in range, distinct,
+// and non-tautological — encoders that construct clauses structurally
+// (internal/conp) satisfy this by construction and skip the per-clause
+// map AddClause pays for it.
+func (s *Solver) AddClauseFrom(lits []int) {
+	s.clauses = append(s.clauses, &clause{lits: append([]int(nil), lits...)})
 }
 
 func (s *Solver) watch(c *clause, lit int) {
 	i := litIndex(lit)
 	s.watches[i] = append(s.watches[i], c)
+}
+
+// attachNew installs watches (or root-level units) for clauses added
+// since the last solve, under the current root-level assignment. It
+// reports false on a root-level conflict. Must run at decision level 0.
+func (s *Solver) attachNew() bool {
+	for ; s.attached < len(s.clauses); s.attached++ {
+		c := s.clauses[s.attached]
+		// Move up to two non-false literals to the front; a clause with
+		// a root-level true literal is satisfied forever and needs no
+		// watches at all.
+		satisfied := false
+		nf := 0
+		for i, l := range c.lits {
+			switch s.value(l) {
+			case trueVal:
+				satisfied = true
+			case unassigned:
+				if nf < 2 {
+					c.lits[nf], c.lits[i] = c.lits[i], c.lits[nf]
+					nf++
+				}
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		switch nf {
+		case 0: // every literal root-false (or the clause is empty)
+			s.rootUnsat = true
+			return false
+		case 1:
+			if !s.enqueue(c.lits[0], c) {
+				s.rootUnsat = true
+				return false
+			}
+		default:
+			s.watch(c, c.lits[0])
+			s.watch(c, c.lits[1])
+		}
+	}
+	return true
 }
 
 func (s *Solver) enqueue(l int, from *clause) bool {
@@ -193,10 +276,10 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
 // propagate runs unit propagation; it returns a conflicting clause or
 // nil.
-func (s *Solver) propagate(qhead *int) *clause {
-	for *qhead < len(s.trail) {
-		l := s.trail[*qhead]
-		*qhead++
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
 		s.propagations++
 		// Clauses watching ¬l must be updated.
 		negIdx := litIndex(-l)
@@ -243,6 +326,75 @@ func (s *Solver) propagate(qhead *int) *clause {
 	return nil
 }
 
+// Branching-order heap: a binary max-heap on activity with lazy
+// deletion. Rescaling multiplies every activity uniformly, so it never
+// disturbs the heap order.
+
+func (s *Solver) orderSiftUp(i int) {
+	v := s.order[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := s.order[parent]
+		if s.activity[v] <= s.activity[p] {
+			break
+		}
+		s.order[i] = p
+		s.orderPos[p] = int32(i)
+		i = parent
+	}
+	s.order[i] = v
+	s.orderPos[v] = int32(i)
+}
+
+func (s *Solver) orderSiftDown(i int) {
+	n := len(s.order)
+	v := s.order[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.activity[s.order[r]] > s.activity[s.order[child]] {
+			child = r
+		}
+		c := s.order[child]
+		if s.activity[c] <= s.activity[v] {
+			break
+		}
+		s.order[i] = c
+		s.orderPos[c] = int32(i)
+		i = child
+	}
+	s.order[i] = v
+	s.orderPos[v] = int32(i)
+}
+
+func (s *Solver) orderInsert(v int32) {
+	s.orderPos[v] = int32(len(s.order))
+	s.order = append(s.order, v)
+	s.orderSiftUp(len(s.order) - 1)
+}
+
+// orderPop removes and returns the highest-activity variable, or 0 when
+// the heap is empty.
+func (s *Solver) orderPop() int32 {
+	if len(s.order) == 0 {
+		return 0
+	}
+	v := s.order[0]
+	s.orderPos[v] = -1
+	last := len(s.order) - 1
+	if last > 0 {
+		s.order[0] = s.order[last]
+		s.orderPos[s.order[0]] = 0
+	}
+	s.order = s.order[:last]
+	if last > 0 {
+		s.orderSiftDown(0)
+	}
+	return v
+}
+
 func (s *Solver) bumpVar(v int) {
 	s.activity[v] += s.varInc
 	if s.activity[v] > 1e100 {
@@ -250,6 +402,9 @@ func (s *Solver) bumpVar(v int) {
 			s.activity[i] *= 1e-100
 		}
 		s.varInc *= 1e-100
+	}
+	if s.orderPos[v] >= 0 {
+		s.orderSiftUp(int(s.orderPos[v]))
 	}
 }
 
@@ -320,7 +475,7 @@ func abs(x int) int {
 	return x
 }
 
-func (s *Solver) cancelUntil(level int, qhead *int) {
+func (s *Solver) cancelUntil(level int) {
 	if s.decisionLevel() <= level {
 		return
 	}
@@ -330,22 +485,24 @@ func (s *Solver) cancelUntil(level int, qhead *int) {
 		s.phase[v] = s.assign[v]
 		s.assign[v] = unassigned
 		s.reason[v] = nil
+		if s.orderPos[v] < 0 {
+			s.orderInsert(int32(v))
+		}
 	}
 	s.trail = s.trail[:lim]
 	s.trailLim = s.trailLim[:level]
-	if *qhead > lim {
-		*qhead = lim
+	if s.qhead > lim {
+		s.qhead = lim
 	}
 }
 
 func (s *Solver) pickBranchVar() int {
-	best, bestAct := 0, -1.0
-	for v := 1; v <= s.nVars; v++ {
-		if s.assign[v] == unassigned && s.activity[v] > bestAct {
-			best, bestAct = v, s.activity[v]
+	for {
+		v := s.orderPop()
+		if v == 0 || s.assign[v] == unassigned {
+			return int(v)
 		}
 	}
-	return best
 }
 
 // luby computes the Luby restart sequence value for index i (1-based).
@@ -361,21 +518,34 @@ func luby(i uint64) uint64 {
 }
 
 // Solve searches for a satisfying assignment. On Sat, Model reports the
-// assignment.
-func (s *Solver) Solve() Status {
-	// Handle unit and empty clauses up front.
-	qhead := 0
-	for _, c := range s.clauses {
-		switch len(c.lits) {
-		case 0:
-			return Unsat
-		case 1:
-			if !s.enqueue(c.lits[0], c) {
-				return Unsat
-			}
+// assignment. It is SolveAssuming with no assumptions.
+func (s *Solver) Solve() Status { return s.SolveAssuming() }
+
+// SolveAssuming searches for a satisfying assignment with every
+// assumption literal held true. It first resets the trail to the root
+// level, so a Solver can be re-solved any number of times — under
+// different assumptions, or after further AddClause calls — while
+// keeping its learned clauses and saved phases; re-deciding an
+// unchanged formula is therefore much cheaper than the first call.
+// Unsat means unsatisfiable *under the assumptions*; the formula
+// without them may still be satisfiable. Assumption literals must be
+// nonzero and in range (the method panics otherwise: unlike clauses,
+// assumptions come from the encoder, not from user input).
+func (s *Solver) SolveAssuming(assumptions ...int) Status {
+	if s.rootUnsat {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		if a == 0 || a > s.nVars || a < -s.nVars {
+			panic(fmt.Sprintf("sat: assumption literal %d out of range (nVars=%d)", a, s.nVars))
 		}
 	}
-	if s.propagate(&qhead) != nil {
+	s.cancelUntil(0)
+	if !s.attachNew() {
+		return Unsat
+	}
+	if s.propagate() != nil {
+		s.rootUnsat = true
 		return Unsat
 	}
 
@@ -384,7 +554,7 @@ func (s *Solver) Solve() Status {
 	confSinceRestart := uint64(0)
 
 	for {
-		confl := s.propagate(&qhead)
+		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++
 			confSinceRestart++
@@ -392,12 +562,13 @@ func (s *Solver) Solve() Status {
 				return Unknown
 			}
 			if s.decisionLevel() == 0 {
+				s.rootUnsat = true
 				return Unsat
 			}
 			learnt, back := s.analyze(confl)
-			s.cancelUntil(back, &qhead)
-			c := &clause{lits: learnt, learned: true}
-			s.clauses = append(s.clauses, c)
+			s.cancelUntil(back)
+			c := &clause{lits: learnt}
+			s.learnts = append(s.learnts, c)
 			if len(learnt) >= 2 {
 				s.watch(c, learnt[0])
 				s.watch(c, learnt[1])
@@ -410,7 +581,27 @@ func (s *Solver) Solve() Status {
 			restart++
 			budget = 100 * luby(restart)
 			confSinceRestart = 0
-			s.cancelUntil(0, &qhead)
+			s.cancelUntil(0)
+			continue
+		}
+		// Pending assumptions decide before free branching; assumption
+		// i is the decision of level i+1, so a restart (or a backjump
+		// below an assumption level) re-pushes them here.
+		if lvl := s.decisionLevel(); lvl < len(assumptions) {
+			a := assumptions[lvl]
+			switch s.value(a) {
+			case falseVal:
+				// The formula plus the earlier assumptions implies ¬a.
+				return Unsat
+			case trueVal:
+				// Already implied: open an empty decision level so the
+				// level ↔ assumption indexing stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			default:
+				s.decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(a, nil)
+			}
 			continue
 		}
 		v := s.pickBranchVar()
@@ -428,7 +619,9 @@ func (s *Solver) Solve() Status {
 }
 
 // Model returns the satisfying assignment found by the last Sat call:
-// Model()[v] is the value of variable v (index 0 unused).
+// Model()[v] is the value of variable v (index 0 unused). It is only
+// meaningful immediately after a call that returned Sat; a later
+// SolveAssuming call invalidates it.
 func (s *Solver) Model() []bool {
 	m := make([]bool, s.nVars+1)
 	for v := 1; v <= s.nVars; v++ {

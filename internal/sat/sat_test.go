@@ -228,6 +228,179 @@ func TestRandom3SATAgainstBruteForce(t *testing.T) {
 	}
 }
 
+func TestSolveAssuming(t *testing.T) {
+	// x1 -> x2, x2 -> x3: satisfiable; unsat under {x1, ¬x3}.
+	s := NewSolver(3)
+	s.AddClause(-1, 2)
+	s.AddClause(-2, 3)
+	if s.SolveAssuming(1) != Sat {
+		t.Fatal("sat under x1")
+	}
+	m := s.Model()
+	if !m[1] || !m[2] || !m[3] {
+		t.Errorf("model = %v, want x1..x3 true", m)
+	}
+	if s.SolveAssuming(1, -3) != Unsat {
+		t.Fatal("unsat under {x1, ¬x3}")
+	}
+	// The formula itself must stay satisfiable after an assumption
+	// failure: assumptions are not clauses.
+	if s.SolveAssuming(-1) != Sat {
+		t.Fatal("sat under ¬x1")
+	}
+	if s.Model()[1] {
+		t.Error("model must falsify x1")
+	}
+	if s.SolveAssuming() != Sat {
+		t.Fatal("sat with no assumptions")
+	}
+}
+
+func TestSolveAssumingContradictoryAssumptions(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(1, 2)
+	if s.SolveAssuming(1, -1) != Unsat {
+		t.Error("contradictory assumptions must be unsat")
+	}
+	if s.SolveAssuming(1) != Sat {
+		t.Error("recoverable after contradictory assumptions")
+	}
+}
+
+func TestIncrementalAddBetweenSolves(t *testing.T) {
+	s := NewSolver(3)
+	s.AddClause(1, 2)
+	if s.SolveAssuming(-1) != Sat {
+		t.Fatal("sat under ¬x1")
+	}
+	// Clauses added after a solve must take effect at the next one,
+	// including units against the saved state.
+	s.AddClause(-2, 3)
+	s.AddClause(-3)
+	if s.SolveAssuming(-1) != Unsat {
+		t.Fatal("¬x1 forces x2, x2 -> x3, ¬x3: unsat")
+	}
+	if s.SolveAssuming(1) != Sat {
+		t.Fatal("still sat under x1")
+	}
+	s.AddClause(-1)
+	if s.SolveAssuming() != Unsat {
+		t.Fatal("now unsat outright")
+	}
+	if s.SolveAssuming(2) != Unsat {
+		t.Fatal("root-level unsat must persist under any assumptions")
+	}
+}
+
+// TestIncrementalLearnsAcrossCalls re-solves one formula many times and
+// checks answers stay stable while learned clauses and model validity
+// persist (the warm path the conp tier relies on).
+func TestIncrementalLearnsAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for it := 0; it < 50; it++ {
+		nVars := 4 + rng.Intn(6)
+		var clauses [][]int
+		s := NewSolver(nVars)
+		for i := 0; i < 3*nVars; i++ {
+			k := 1 + rng.Intn(3)
+			c := make([]int, k)
+			for j := range c {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		want := bruteForce(nVars, clauses)
+		for call := 0; call < 4; call++ {
+			got := s.Solve()
+			if (got == Sat) != want {
+				t.Fatalf("it=%d call=%d: solver=%v brute=%v", it, call, got, want)
+			}
+			if got == Sat {
+				m := s.Model()
+				for _, c := range clauses {
+					ok := false
+					for _, l := range c {
+						if (l > 0) == m[abs(l)] {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("it=%d call=%d: model falsifies %v", it, call, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveAssumingVsClauses cross-checks assumption solving against
+// the same literals added as unit clauses on a fresh solver.
+func TestSolveAssumingVsClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for it := 0; it < 120; it++ {
+		nVars := 3 + rng.Intn(6)
+		var clauses [][]int
+		inc := NewSolver(nVars)
+		for i := 0; i < 2*nVars; i++ {
+			k := 1 + rng.Intn(3)
+			c := make([]int, k)
+			for j := range c {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			clauses = append(clauses, c)
+			inc.AddClause(c...)
+		}
+		// Several assumption sets against one incremental solver.
+		for trial := 0; trial < 3; trial++ {
+			var assume []int
+			used := map[int]bool{}
+			for len(assume) < 1+rng.Intn(3) {
+				v := 1 + rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				assume = append(assume, v)
+			}
+			fresh := NewSolver(nVars)
+			for _, c := range clauses {
+				fresh.AddClause(c...)
+			}
+			for _, a := range assume {
+				fresh.AddClause(a)
+			}
+			got := inc.SolveAssuming(assume...)
+			want := fresh.Solve()
+			if got != want {
+				t.Fatalf("it=%d assume=%v: incremental=%v fresh=%v", it, assume, got, want)
+			}
+		}
+	}
+}
+
+func TestAssumptionPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range assumption must panic")
+		}
+	}()
+	s := NewSolver(1)
+	s.SolveAssuming(2)
+}
+
 func TestStatsAndStatusString(t *testing.T) {
 	s := NewSolver(3)
 	s.AddClause(1, 2)
