@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"cqa/internal/circuits"
@@ -296,6 +297,71 @@ func BenchmarkCertainBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng.CertainBatch(context.Background(), reqs)
+			}
+		})
+	}
+}
+
+// skewedBatchRequests is the serving mix for the sharded-scheduler
+// benchmark (experiment E17): two hot query words whose requests cycle
+// over 48 shared 300-fact instances — scattered in input order, and 48
+// snapshots overflow the 16-entry per-plan binding memos, so the
+// per-request scheduler rebuilds instance-bound artifacts over and over
+// while snapshot-affine shards build each exactly once — plus 16
+// distinct cold NL words (one request each) whose certification-heavy
+// compilation the sharded pre-pass keeps off the evaluation workers.
+func skewedBatchRequests() []Request {
+	const nInstances = 48
+	dbs := make([]*Instance, nInstances)
+	for i := range dbs {
+		dbs[i] = workload.Random(workload.Config{
+			Relations:    []string{"R", "X", "Y"},
+			Constants:    150,
+			Facts:        300,
+			ConflictRate: 0.3,
+			Seed:         int64(1700 + i),
+		})
+	}
+	hot := []Query{MustParseQuery("RRX"), MustParseQuery("RXRYRY")}
+	var reqs []Request
+	for i := 0; i < 4*len(hot)*nInstances; i++ {
+		reqs = append(reqs, Request{
+			Query: hot[i%len(hot)],
+			DB:    dbs[(i/len(hot))%nInstances],
+		})
+	}
+	for k := 3; k <= 18; k++ {
+		reqs = append(reqs, Request{
+			Query: MustParseQuery(strings.Repeat("R", k) + "X"),
+			DB:    dbs[0],
+		})
+	}
+	return reqs
+}
+
+// BenchmarkCertainBatchSharded measures the two-phase sharded batch
+// scheduler against the pre-sharding per-request scheduler
+// (BatchShardSize < 0) on the skewed mix above. A fresh engine per
+// iteration replays the cold-word compilations and the per-plan memo
+// churn every op, matching a serving tier picking up a new workload.
+// The benchgate ratio gate batch-sharded-vs-unsharded enforces the
+// sharded win (≤ 0.67, i.e. ≥ 1.5x).
+func BenchmarkCertainBatchSharded(b *testing.B) {
+	reqs := skewedBatchRequests()
+	for _, cfg := range []struct {
+		name      string
+		shardSize int
+	}{
+		{"sharded", 0},
+		{"unsharded", -1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := NewEngine(EngineConfig{BatchShardSize: cfg.shardSize})
+				res := eng.CertainBatch(context.Background(), reqs)
+				if res[0].Err != nil {
+					b.Fatal(res[0].Err)
+				}
 			}
 		})
 	}

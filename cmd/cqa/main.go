@@ -9,7 +9,8 @@
 //	cqa classify <query>...
 //	cqa solve -q <query> (-db <file.csv> | -facts "R(a,b) ...") [-method M] [-cex]
 //	cqa plan -q <query>
-//	cqa batch [-file reqs.txt] [-workers N] [-format lines|ndjson]
+//	cqa batch [-file reqs.txt] [-workers N] [-format lines|ndjson|csv]
+//	          [-max-line BYTES] [-shard-size N] [-compile-workers N]
 //	cqa rewrite -q <query>
 //	cqa language -q <query> [-max N]
 //	cqa nfa -q <query>
@@ -24,6 +25,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,10 +81,13 @@ func usage() {
   cqa classify <query>...          complexity class of CERTAINTY(q) with witnesses
   cqa solve -q Q [-db F|-facts S]  decide CERTAINTY(q) on an instance
   cqa plan -q Q                    compiled execution plan for q
-  cqa batch [-file F] [-workers N] [-format lines|ndjson]
+  cqa batch [-file F] [-workers N] [-format lines|ndjson|csv]
+            [-max-line BYTES] [-shard-size N] [-compile-workers N]
                                    decide a request batch; ndjson reads
                                    {"query":..., "facts":[...]} lines and
-                                   streams one-line-JSON results
+                                   streams one-line-JSON results; csv reads
+                                   id,query,rel,key,val fact rows grouped
+                                   by request id
   cqa rewrite -q Q                 consistent FO rewriting (FO class only)
   cqa language -q Q [-max N]       rewinding closure L↬(q) up to length N
   cqa nfa -q Q                     NFA(q) in Graphviz DOT
@@ -182,22 +187,40 @@ func cmdPlan(args []string) error {
 }
 
 // cmdBatch decides request batches concurrently on one engine, so
-// repeated query words share a compiled plan. Two request formats:
+// repeated query words share a compiled plan and the sharded scheduler
+// keeps same-instance requests on one worker. Three request formats:
 //
 //   - "lines" (default): one "QUERY ; FACTS" per line, e.g.
-//     "RRX ; R(0,1) R(1,2) X(2,3)", with aligned text output.
+//     "RRX ; R(0,1) R(1,2) X(2,3)", with aligned text output, decided
+//     and printed in bounded chunks.
 //   - "ndjson": one JSON object per line,
 //     {"query": "RRX", "facts": ["R(0,1)", "R(1,2)", "X(2,3)"]},
-//     answered with streaming one-line-JSON results on stdout (requests
-//     are decided and emitted in chunks, so output starts before the
-//     whole input is read and memory stays bounded); the summary goes
-//     to stderr to keep stdout valid NDJSON.
+//     answered with streaming one-line-JSON results on stdout; a
+//     malformed line (including one over -max-line) gets a per-line
+//     error object instead of aborting the stream; the summary goes to
+//     stderr to keep stdout valid NDJSON.
+//   - "csv": one fact per row, "id,query,rel,key,val", rows for one
+//     request consecutive (the rel,key,val columns round-trip the
+//     instance CSV loader, so `cqa count -db` files paste in behind an
+//     id,query prefix); answered with one CSV row per request,
+//     "id,query,certain,class,method,error", on stdout and the summary
+//     on stderr.
+//
+// All three formats evaluate and emit in chunks of batchChunk requests,
+// so arbitrarily long request streams run in constant memory and output
+// starts before the whole input is read.
 func cmdBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	file := fs.String("file", "", "request file (default: stdin)")
 	workers := fs.Int("workers", 0, "worker-pool size (default: GOMAXPROCS)")
-	format := fs.String("format", "lines", `request format: "lines" or "ndjson"`)
+	format := fs.String("format", "lines", `request format: "lines", "ndjson" or "csv"`)
+	maxLine := fs.Int("max-line", defaultMaxLine, "maximum request line length in bytes")
+	shardSize := fs.Int("shard-size", 0, "requests per batch shard (default: engine default; <0 disables sharding)")
+	compileWorkers := fs.Int("compile-workers", 0, "concurrent plan compilations in the batch pre-pass (default: workers)")
 	fs.Parse(args)
+	if *maxLine <= 0 {
+		return fmt.Errorf("-max-line must be positive, got %d", *maxLine)
+	}
 
 	var r io.Reader = os.Stdin
 	if *file != "" {
@@ -208,56 +231,154 @@ func cmdBatch(args []string) error {
 		defer f.Close()
 		r = f
 	}
-	eng := cqa.NewEngine(cqa.EngineConfig{Workers: *workers})
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	eng := cqa.NewEngine(cqa.EngineConfig{
+		Workers:        *workers,
+		CompileWorkers: *compileWorkers,
+		BatchShardSize: *shardSize,
+	})
+	lr := newLineReader(r, *maxLine)
 
 	switch *format {
 	case "lines":
-		return batchLines(eng, sc)
+		return batchLines(eng, lr, os.Stdout)
 	case "ndjson":
-		return batchNDJSON(eng, sc)
+		return batchNDJSON(eng, lr, os.Stdout)
+	case "csv":
+		return batchCSV(eng, lr, os.Stdout)
 	default:
-		return fmt.Errorf("unknown -format %q (want lines or ndjson)", *format)
+		return fmt.Errorf("unknown -format %q (want lines, ndjson or csv)", *format)
 	}
 }
 
-func batchLines(eng *cqa.Engine, sc *bufio.Scanner) error {
+// defaultMaxLine is the -max-line default: generous enough for large
+// inline fact lists, small enough to catch a runaway unterminated line.
+const defaultMaxLine = 8 << 20
+
+// lineReader yields lines of at most max bytes. Unlike bufio.Scanner —
+// whose ErrTooLong poisons the whole stream — an oversized line is
+// consumed to its terminator and reported via the tooLong flag, and
+// reading continues at the next line, so NDJSON mode can answer it with
+// a per-line error instead of aborting the batch.
+type lineReader struct {
+	r    *bufio.Reader
+	max  int
+	line int // line number of the most recently returned line
+}
+
+func newLineReader(r io.Reader, max int) *lineReader {
+	return &lineReader{r: bufio.NewReader(r), max: max}
+}
+
+// next returns the next line without its terminator. Only line content
+// counts against max — the '\n' does not, so a line of exactly max
+// bytes passes whether or not it is newline-terminated. It returns
+// io.EOF only on a clean end of input with no pending line.
+func (lr *lineReader) next() (string, bool, error) {
+	var buf []byte
+	tooLong := false
+	for {
+		chunk, err := lr.r.ReadSlice('\n')
+		data := chunk
+		if len(data) > 0 && data[len(data)-1] == '\n' {
+			data = data[:len(data)-1]
+		}
+		if len(data) > 0 && !tooLong {
+			if len(buf)+len(data) > lr.max {
+				tooLong = true
+				buf = nil
+			} else {
+				buf = append(buf, data...)
+			}
+		}
+		switch err {
+		case nil, io.EOF:
+			if err == io.EOF && len(chunk) == 0 && len(buf) == 0 && !tooLong {
+				return "", false, io.EOF
+			}
+			lr.line++
+			return string(buf), tooLong, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return "", false, err
+		}
+	}
+}
+
+// errLineTooLong renders the shared over-length diagnostic.
+func (lr *lineReader) errLineTooLong() error {
+	return fmt.Errorf("line %d: request line longer than %d bytes (raise -max-line)", lr.line, lr.max)
+}
+
+// batchSummary renders the trailing stats line. Compiles — not the
+// plan-cache residency Entries, which an eviction shrinks — is the
+// number of plans compiled.
+func batchSummary(total int, stats cqa.CacheStats) string {
+	return fmt.Sprintf("# %d requests in %d shards, %d plans compiled (cache: %d entries, %d hits / %d misses)",
+		total, stats.Shards, stats.Compiles, stats.Entries, stats.Hits, stats.Misses)
+}
+
+// batchLines evaluates and prints in batchChunk-sized chunks, so
+// "-format lines" streams in constant memory like the NDJSON path
+// instead of buffering the whole request file.
+func batchLines(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	total := 0
 	var reqs []cqa.Request
-	for lineNo := 1; sc.Scan(); lineNo++ {
-		line := strings.TrimSpace(sc.Text())
+	var nums []int
+	flush := func() error {
+		for j, res := range eng.CertainBatch(context.Background(), reqs) {
+			if res.Err != nil {
+				fmt.Fprintf(out, "%-4d %-12v error: %v\n", nums[j], reqs[j].Query, res.Err)
+				continue
+			}
+			fmt.Fprintf(out, "%-4d %-12v certain=%-5v class=%v method=%s\n",
+				nums[j], reqs[j].Query, res.Certain, res.Class, res.Method)
+		}
+		reqs, nums = reqs[:0], nums[:0]
+		return out.Flush()
+	}
+	for {
+		raw, tooLong, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if tooLong {
+			return lr.errLineTooLong()
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		qpart, fpart, ok := strings.Cut(line, ";")
 		if !ok {
-			return fmt.Errorf("line %d: want \"QUERY ; FACTS\", got %q", lineNo, line)
+			return fmt.Errorf("line %d: want \"QUERY ; FACTS\", got %q", lr.line, line)
 		}
 		q, err := cqa.ParseQuery(strings.TrimSpace(qpart))
 		if err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
+			return fmt.Errorf("line %d: %w", lr.line, err)
 		}
 		db, err := instance.ParseFacts(strings.TrimSpace(fpart))
 		if err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
+			return fmt.Errorf("line %d: %w", lr.line, err)
 		}
+		total++
 		reqs = append(reqs, cqa.Request{Query: q, DB: db})
+		nums = append(nums, total)
+		if len(reqs) >= batchChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := flush(); err != nil {
 		return err
 	}
-
-	for i, res := range eng.CertainBatch(context.Background(), reqs) {
-		if res.Err != nil {
-			fmt.Printf("%-4d %-12v error: %v\n", i+1, reqs[i].Query, res.Err)
-			continue
-		}
-		fmt.Printf("%-4d %-12v certain=%-5v class=%v method=%s\n",
-			i+1, reqs[i].Query, res.Certain, res.Class, res.Method)
-	}
-	stats := eng.CacheStats()
-	fmt.Printf("# %d requests, %d plans compiled (cache: %d hits / %d misses)\n",
-		len(reqs), stats.Entries, stats.Hits, stats.Misses)
+	fmt.Fprintln(out, batchSummary(total, eng.CacheStats()))
 	return nil
 }
 
@@ -283,15 +404,17 @@ type batchResponse struct {
 // stream out as chunks complete.
 const batchChunk = 256
 
-func batchNDJSON(eng *cqa.Engine, sc *bufio.Scanner) error {
-	out := bufio.NewWriter(os.Stdout)
+func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
+	out := bufio.NewWriter(w)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
 
 	total := 0
 	// A chunk holds responses in input order; reqIdx >= 0 marks a slot
 	// to be filled from the concurrent batch evaluation, -1 a request
-	// that already failed to parse.
+	// that already failed to parse. Every parse-side error — JSON
+	// decode, query, facts, over-length line — carries its "line %d:"
+	// context, so a failing line of a huge stream can be found.
 	type slot struct {
 		resp   batchResponse
 		reqIdx int
@@ -322,8 +445,26 @@ func batchNDJSON(eng *cqa.Engine, sc *bufio.Scanner) error {
 		return out.Flush()
 	}
 
-	for lineNo := 1; sc.Scan(); lineNo++ {
-		line := strings.TrimSpace(sc.Text())
+	for {
+		raw, tooLong, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if tooLong {
+			total++
+			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
+				Index: total, Error: lr.errLineTooLong().Error()}})
+			if len(slots) >= batchChunk {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -331,13 +472,13 @@ func batchNDJSON(eng *cqa.Engine, sc *bufio.Scanner) error {
 		var br batchRequest
 		if err := json.Unmarshal([]byte(line), &br); err != nil {
 			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
-				Index: total, Error: fmt.Sprintf("line %d: %v", lineNo, err)}})
+				Index: total, Error: fmt.Sprintf("line %d: %v", lr.line, err)}})
 		} else if q, err := cqa.ParseQuery(br.Query); err != nil {
 			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
-				Index: total, Query: br.Query, Error: err.Error()}})
+				Index: total, Query: br.Query, Error: fmt.Sprintf("line %d: %v", lr.line, err)}})
 		} else if db, err := instance.ParseFacts(strings.Join(br.Facts, " ")); err != nil {
 			slots = append(slots, slot{reqIdx: -1, resp: batchResponse{
-				Index: total, Query: br.Query, Error: err.Error()}})
+				Index: total, Query: br.Query, Error: fmt.Sprintf("line %d: %v", lr.line, err)}})
 		} else {
 			slots = append(slots, slot{reqIdx: len(reqs), resp: batchResponse{
 				Index: total, Query: br.Query}})
@@ -349,15 +490,189 @@ func batchNDJSON(eng *cqa.Engine, sc *bufio.Scanner) error {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, batchSummary(total, eng.CacheStats()))
+	return nil
+}
+
+// batchCSV reads "id,query,rel,key,val" rows — one fact per row, rows
+// for one request id consecutive, the query column constant within a
+// request — and answers one CSV row "id,query,certain,class,method,
+// error" per request on stdout. Rows are RFC-4180 CSV (quoted fields
+// allowed, one row per line) and the fact columns are exactly the
+// instance CSV format: each request's rows are re-encoded and fed
+// through instance.ReadCSV, so files written by Instance.WriteCSV —
+// including quoted values — paste in behind an id,query prefix. A
+// malformed row, a conflicting query column, or an id that reappears
+// after its run ended (interleaved requests; detected within a bounded
+// window of recent ids, so memory stays constant) yields an error row
+// for that request; the rest of the stream is unaffected.
+func batchCSV(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	cw := csv.NewWriter(out)
+
+	type slot struct {
+		id, query string
+		reqIdx    int // -1: errMsg answers the request
+		errMsg    string
+	}
+	var slots []slot
+	var reqs []cqa.Request
+	total := 0
+
+	flush := func() error {
+		results := eng.CertainBatch(context.Background(), reqs)
+		for _, sl := range slots {
+			rec := []string{sl.id, sl.query, "", "", "", sl.errMsg}
+			if sl.reqIdx >= 0 {
+				res := results[sl.reqIdx]
+				if res.Err != nil {
+					rec[5] = res.Err.Error()
+				} else {
+					rec[2] = fmt.Sprintf("%v", res.Certain)
+					rec[3] = res.Class.String()
+					rec[4] = string(res.Method)
+				}
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		slots, reqs = slots[:0], reqs[:0]
+		return out.Flush()
+	}
+
+	// group accumulates the current run of same-id rows; its fact rows
+	// are re-encoded through a csv.Writer so quoted fields survive into
+	// instance.ReadCSV. seen records the most recently finalized ids —
+	// bounded at seenWindow so arbitrarily long streams stay in
+	// constant memory — to catch an interleaved id when it reappears.
+	type group struct {
+		id, query string
+		facts     strings.Builder
+		fw        *csv.Writer
+		errMsg    string
+	}
+	var cur *group
+	const seenWindow = 4 * batchChunk
+	seen := make(map[string]bool, seenWindow)
+	var seenRing []string
+	seenNext := 0
+
+	finalize := func() error {
+		if cur == nil {
+			return nil
+		}
+		g := cur
+		cur = nil
+		if !seen[g.id] {
+			if len(seenRing) < seenWindow {
+				seenRing = append(seenRing, g.id)
+			} else {
+				delete(seen, seenRing[seenNext])
+				seenRing[seenNext] = g.id
+				seenNext = (seenNext + 1) % seenWindow
+			}
+			seen[g.id] = true
+		}
+		total++
+		sl := slot{id: g.id, query: g.query, reqIdx: -1, errMsg: g.errMsg}
+		if g.errMsg == "" {
+			g.fw.Flush()
+			q, err := cqa.ParseQuery(g.query)
+			if err != nil {
+				sl.errMsg = err.Error()
+			} else if db, err := instance.ReadCSV(strings.NewReader(g.facts.String())); err != nil {
+				sl.errMsg = err.Error()
+			} else {
+				sl.reqIdx = len(reqs)
+				reqs = append(reqs, cqa.Request{Query: q, DB: db})
+			}
+		}
+		slots = append(slots, sl)
+		if len(slots) >= batchChunk {
+			return flush()
+		}
+		return nil
+	}
+
+	for {
+		raw, tooLong, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if tooLong {
+			return lr.errLineTooLong()
+		}
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// RFC-4180 parse of one row. On a field-count mismatch the
+		// record still comes back alongside ErrFieldCount, so the error
+		// can be attributed to the row's request id; a row whose id is
+		// unrecoverable (bad quoting) aborts with its line number.
+		cr := csv.NewReader(strings.NewReader(text))
+		cr.FieldsPerRecord = 5
+		cr.TrimLeadingSpace = true
+		rec, recErr := cr.Read()
+		if len(rec) == 0 {
+			return fmt.Errorf("line %d: %v", lr.line, recErr)
+		}
+		id := strings.TrimSpace(rec[0])
+		if id == "" {
+			return fmt.Errorf("line %d: missing request id in %q", lr.line, text)
+		}
+		if cur == nil || cur.id != id {
+			if err := finalize(); err != nil {
+				return err
+			}
+			cur = &group{id: id}
+			cur.fw = csv.NewWriter(&cur.facts)
+			if seen[id] {
+				cur.errMsg = fmt.Sprintf("line %d: request id %q interleaved: rows for one request must be consecutive", lr.line, id)
+			}
+		}
+		if cur.errMsg != "" {
+			continue // request already failed; skip its remaining rows
+		}
+		if recErr != nil {
+			cur.errMsg = fmt.Sprintf("line %d: want \"id,query,rel,key,val\", got %q", lr.line, text)
+			continue
+		}
+		q := strings.TrimSpace(rec[1])
+		switch {
+		case q == "":
+			cur.errMsg = fmt.Sprintf("line %d: empty query for request %q", lr.line, id)
+		case cur.query == "":
+			cur.query = q
+		case cur.query != q:
+			cur.errMsg = fmt.Sprintf("line %d: query %q conflicts with %q for request %q", lr.line, q, cur.query, id)
+		}
+		if cur.errMsg != "" {
+			continue
+		}
+		if err := cur.fw.Write(rec[2:]); err != nil {
+			return err
+		}
+	}
+	if err := finalize(); err != nil {
 		return err
 	}
 	if err := flush(); err != nil {
 		return err
 	}
-	stats := eng.CacheStats()
-	fmt.Fprintf(os.Stderr, "# %d requests, %d plans compiled (cache: %d hits / %d misses)\n",
-		total, stats.Entries, stats.Hits, stats.Misses)
+	fmt.Fprintln(os.Stderr, batchSummary(total, eng.CacheStats()))
 	return nil
 }
 

@@ -1,9 +1,11 @@
 // Command cqabench regenerates every paper artifact indexed in
 // DESIGN.md (experiments E1–E13) and prints paper-vs-measured tables;
-// EXPERIMENTS.md records its output. E14 goes beyond the paper: it
-// measures the serving-path win of the interned fixpoint solver (the
-// per-(plan, instance) transition-table memo). Run all experiments with
-// no arguments, or select one with -e E4.
+// EXPERIMENTS.md records its output. E14–E17 go beyond the paper: they
+// measure the serving-path wins — the interned per-(plan, instance)
+// memos of the fixpoint, NL and coNP tiers (E14–E16), and the sharded
+// batch scheduler against the per-request scheduler on a skewed word
+// mix (E17). Run all experiments with no arguments, or select one with
+// -e E4.
 package main
 
 import (
@@ -41,7 +43,7 @@ type experiment struct {
 }
 
 func main() {
-	sel := flag.String("e", "", "run a single experiment (E1..E16)")
+	sel := flag.String("e", "", "run a single experiment (E1..E17)")
 	flag.Parse()
 	exps := []experiment{
 		{"E1", "Figure 1 / Examples 1-2: self-joins change certainty", e1},
@@ -60,6 +62,7 @@ func main() {
 		{"E14", "Interned fixpoint serving: binding memo cold vs warm", e14},
 		{"E15", "Interned NL serving: loop procedure cold vs warm", e15},
 		{"E16", "Interned coNP serving: CNF memo + incremental solve cold vs warm", e16},
+		{"E17", "Sharded batch serving: skewed word mix, sharded vs per-request scheduler", e17},
 	}
 	allOK := true
 	for _, e := range exps {
@@ -604,6 +607,76 @@ func e16() bool {
 		ok = ok && coldRes == warmRes && warmNs < coldNs
 	}
 	return ok
+}
+
+// e17 measures the engine's two-phase sharded batch scheduler against
+// the per-request scheduler it replaced (EngineConfig.BatchShardSize <
+// 0) on a skewed serving mix: two hot query words cycling over 24
+// shared instances — scattered in input order, so the per-request
+// scheduler churns the 16-entry per-plan binding memos, while
+// snapshot-affine shards build each (plan, snapshot) artifact exactly
+// once — plus a tail of cold NL words whose certification-heavy plans
+// the sharded pre-pass compiles off the evaluation workers' critical
+// path. Fresh engines per round replay compilation, like a serving
+// tier picking up a new workload; decisions must be identical.
+func e17() bool {
+	const nInstances = 24
+	dbs := make([]*instance.Instance, nInstances)
+	for i := range dbs {
+		dbs[i] = workload.Random(workload.Config{
+			Relations:    []string{"R", "X", "Y"},
+			Constants:    100,
+			Facts:        200,
+			ConflictRate: 0.3,
+			Seed:         int64(1700 + i),
+		})
+	}
+	hot := []cqa.Query{cqa.MustParseQuery("RRX"), cqa.MustParseQuery("RXRYRY")}
+	var reqs []cqa.Request
+	for i := 0; i < 4*len(hot)*nInstances; i++ {
+		reqs = append(reqs, cqa.Request{
+			Query: hot[i%len(hot)],
+			DB:    dbs[(i/len(hot))%nInstances],
+		})
+	}
+	for k := 3; k <= 10; k++ {
+		reqs = append(reqs, cqa.Request{
+			Query: cqa.MustParseQuery(strings.Repeat("R", k) + "X"),
+			DB:    dbs[0],
+		})
+	}
+
+	const rounds = 5
+	run := func(shardSize int) ([]cqa.Result, float64, cqa.CacheStats) {
+		var last []cqa.Result
+		var stats cqa.CacheStats
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			eng := cqa.NewEngine(cqa.EngineConfig{BatchShardSize: shardSize})
+			last = eng.CertainBatch(context.Background(), reqs)
+			stats = eng.CacheStats()
+		}
+		perReq := float64(time.Since(start).Nanoseconds()) / float64(rounds*len(reqs))
+		return last, perReq, stats
+	}
+	run(0) // warm the interned snapshots so both schedulers measure evaluation
+	sharded, shardedNs, stats := run(0)
+	unsharded, unshardedNs, _ := run(-1)
+
+	agree := true
+	for i := range sharded {
+		if sharded[i].Err != nil || unsharded[i].Err != nil ||
+			sharded[i].Certain != unsharded[i].Certain ||
+			sharded[i].Method != unsharded[i].Method {
+			agree = false
+			break
+		}
+	}
+	fmt.Printf("  %d requests (%d words, %d instances): sharded %.0f ns/req, per-request %.0f ns/req (%.1fx)\n",
+		len(reqs), 2+8, nInstances, shardedNs, unshardedNs, unshardedNs/shardedNs)
+	fmt.Printf("  scheduler: %d shards, %d plans compiled per batch; decisions identical: %v\n",
+		stats.Shards, stats.Compiles, agree)
+	return agree && shardedNs < unshardedNs
 }
 
 // fo is referenced here to keep the import set stable across edits.

@@ -27,6 +27,29 @@
 //		if r.Err != nil { ... }     // cancelled or unsound forced tier
 //	}
 //
+// # Sharded batch scheduling
+//
+// CertainBatch is a two-phase sharded scheduler. A pre-pass groups the
+// requests by query word and compiles every distinct word's plan
+// concurrently (bounded by EngineConfig.CompileWorkers), off the
+// evaluation workers' critical path — a worker never sits inside
+// plan.Compile while runnable requests wait behind it, which matters
+// when one cold word's compilation (e.g. the DFA certification of an NL
+// decomposition) would otherwise stall a whole chunk. Evaluation then
+// dispatches shards — a compiled plan plus a run of request indexes,
+// reordered within each word so requests against the same instance are
+// consecutive (capped at EngineConfig.BatchShardSize per shard). Since
+// the tiers memoize their instance-bound artifacts per interned
+// snapshot, snapshot-affine runs landing on one worker turn what would
+// be contended build-once memo entries into warm hits: each (plan,
+// snapshot) pair builds its binding, CNF, or NL artifacts exactly once
+// per batch instead of racing — or, past the memo's LRU bound,
+// thrashing — across scattered workers. Results are returned in request
+// order regardless of shard order. BatchShardSize < 0 disables sharding
+// and restores the legacy per-request scheduler, kept for A/B
+// comparison (BenchmarkCertainBatchSharded gates the sharded scheduler
+// against it).
+//
 // Compiling a plan runs the Theorem 3 classification once and
 // precomputes the dispatched tier's machinery — the Lemma 13 FO
 // rewriting, the certified Section 6.3 loop decomposition, or the
@@ -56,6 +79,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cqa/internal/plan"
 )
@@ -70,22 +94,46 @@ type EngineConfig struct {
 	// PlanCacheSize bounds the number of compiled plans kept in the
 	// LRU cache. 0 means DefaultPlanCacheSize.
 	PlanCacheSize int
-	// Workers is the number of goroutines CertainBatch runs. 0 means
-	// runtime.GOMAXPROCS(0).
+	// Workers is the number of evaluation goroutines CertainBatch
+	// runs. 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// CompileWorkers bounds how many distinct query words the
+	// CertainBatch pre-pass compiles concurrently. 0 means Workers, so
+	// by default plan compilation is bounded by the same pool size as
+	// evaluation.
+	CompileWorkers int
+	// BatchShardSize caps how many requests one CertainBatch shard
+	// carries. Larger shards maximize snapshot affinity and minimize
+	// dispatch overhead; smaller shards balance load across workers.
+	// 0 means DefaultBatchShardSize. A negative value disables
+	// sharding entirely: requests dispatch one index at a time and
+	// plans compile on the evaluation workers (the pre-sharding
+	// scheduler, kept for A/B comparison).
+	BatchShardSize int
 }
 
 // DefaultPlanCacheSize is the plan-cache bound used when
 // EngineConfig.PlanCacheSize is 0.
 const DefaultPlanCacheSize = 256
 
+// DefaultBatchShardSize is the per-shard request cap used when
+// EngineConfig.BatchShardSize is 0.
+const DefaultBatchShardSize = 32
+
 // Engine evaluates CERTAINTY(q, db) through an LRU cache of compiled
 // plans keyed by the query word, plus a worker pool for batch
 // evaluation. The zero value is not usable; construct with NewEngine.
 // An Engine is safe for concurrent use.
 type Engine struct {
-	capacity int
-	workers  int
+	capacity       int
+	workers        int
+	compileWorkers int
+	shardSize      int // < 0: sharding disabled (legacy scheduler)
+
+	// compiles counts plan.Compile executions, shards batch shards
+	// dispatched; both are incremented outside the cache lock.
+	compiles atomic.Uint64
+	shards   atomic.Uint64
 
 	mu    sync.Mutex
 	order *list.List // *cacheEntry, front = most recently used
@@ -111,11 +159,19 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.CompileWorkers <= 0 {
+		cfg.CompileWorkers = cfg.Workers
+	}
+	if cfg.BatchShardSize == 0 {
+		cfg.BatchShardSize = DefaultBatchShardSize
+	}
 	return &Engine{
-		capacity: cfg.PlanCacheSize,
-		workers:  cfg.Workers,
-		order:    list.New(),
-		index:    make(map[string]*list.Element),
+		capacity:       cfg.PlanCacheSize,
+		workers:        cfg.Workers,
+		compileWorkers: cfg.CompileWorkers,
+		shardSize:      cfg.BatchShardSize,
+		order:          list.New(),
+		index:          make(map[string]*list.Element),
 	}
 }
 
@@ -128,8 +184,7 @@ func (e *Engine) Compile(q Query) *Plan {
 		e.hits++
 		entry := el.Value.(*cacheEntry)
 		e.mu.Unlock()
-		entry.once.Do(func() { entry.plan = plan.Compile(entry.word.Word()) })
-		return entry.plan
+		return e.compileEntry(entry)
 	}
 	e.miss++
 	entry := &cacheEntry{key: key, word: q}
@@ -140,10 +195,18 @@ func (e *Engine) Compile(q Query) *Plan {
 		delete(e.index, oldest.Value.(*cacheEntry).key)
 	}
 	e.mu.Unlock()
-	// Compile outside the cache lock: a slow compilation (e.g. the DFA
-	// certification of an NL decomposition) must not serialize the
-	// whole engine. Plans already evicted remain usable by holders.
-	entry.once.Do(func() { entry.plan = plan.Compile(entry.word.Word()) })
+	return e.compileEntry(entry)
+}
+
+// compileEntry runs the entry's at-most-once compilation outside the
+// cache lock: a slow compilation (e.g. the DFA certification of an NL
+// decomposition) must not serialize the whole engine. Plans already
+// evicted remain usable by holders.
+func (e *Engine) compileEntry(entry *cacheEntry) *Plan {
+	entry.once.Do(func() {
+		entry.plan = plan.Compile(entry.word.Word())
+		e.compiles.Add(1)
+	})
 	return entry.plan
 }
 
@@ -169,9 +232,11 @@ type Request struct {
 // CertainBatch evaluates all requests concurrently on the engine's
 // worker pool and returns one Result per request, in request order.
 // Distinct requests for the same query word share a single compiled
-// plan. A request that cannot be evaluated — its options force an
-// unsound tier, or ctx is cancelled before it runs — gets its Err field
-// set instead of a decision; the remaining requests are unaffected.
+// plan; see the package comment for the two-phase sharded scheduling
+// (disable it with EngineConfig.BatchShardSize < 0). A request that
+// cannot be evaluated — its options force an unsound tier, or ctx is
+// cancelled before it runs — gets its Err field set instead of a
+// decision; the remaining requests are unaffected.
 func (e *Engine) CertainBatch(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
@@ -180,6 +245,163 @@ func (e *Engine) CertainBatch(ctx context.Context, reqs []Request) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if e.shardSize < 0 {
+		e.certainBatchUnsharded(ctx, reqs, out)
+	} else {
+		e.certainBatchSharded(ctx, reqs, out)
+	}
+	return out
+}
+
+// batchShard is one unit of sharded dispatch: a compiled plan plus a
+// snapshot-affine run of request indexes.
+type batchShard struct {
+	plan *Plan
+	idxs []int
+}
+
+// batchGroup is the pre-pass grouping of a batch: all request indexes
+// sharing one query word, in input order until affineOrder regroups
+// them into per-instance runs.
+type batchGroup struct {
+	query Query
+	idxs  []int
+}
+
+// certainBatchSharded is the two-phase scheduler: compile workers pull
+// word groups, resolve each group's plan (concurrently across groups,
+// at most once per word via the plan cache), cut the group into
+// snapshot-affine shards, and feed them to the evaluation workers — so
+// evaluation never blocks inside plan.Compile, and requests against the
+// same interned snapshot run consecutively, hitting the tier memos warm.
+func (e *Engine) certainBatchSharded(ctx context.Context, reqs []Request, out []Result) {
+	byWord := make(map[string]*batchGroup)
+	var groups []*batchGroup
+	for i, r := range reqs {
+		key := r.Query.String()
+		g := byWord[key]
+		if g == nil {
+			g = &batchGroup{query: r.Query}
+			byWord[key] = g
+			groups = append(groups, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	for _, g := range groups {
+		g.idxs = affineOrder(reqs, g.idxs)
+	}
+
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	shardCh := make(chan batchShard)
+	var evalWG sync.WaitGroup
+	evalWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer evalWG.Done()
+			for sh := range shardCh {
+				for _, i := range sh.idxs {
+					if err := ctx.Err(); err != nil {
+						out[i].Err = err
+						continue
+					}
+					res, err := sh.plan.Execute(reqs[i].DB, reqs[i].Options)
+					res.Err = err
+					out[i] = res
+				}
+			}
+		}()
+	}
+
+	// Compile phase: groups are claimed by an atomic cursor so a slow
+	// compilation holds back only its own group's shards; every other
+	// word keeps flowing to the evaluation workers. On cancellation the
+	// remaining groups are still drained, so every undispatched request
+	// gets its Err set exactly once.
+	compilers := e.compileWorkers
+	if compilers > len(groups) {
+		compilers = len(groups)
+	}
+	var cursor atomic.Int64
+	var compileWG sync.WaitGroup
+	compileWG.Add(compilers)
+	for c := 0; c < compilers; c++ {
+		go func() {
+			defer compileWG.Done()
+			for {
+				n := int(cursor.Add(1)) - 1
+				if n >= len(groups) {
+					return
+				}
+				g := groups[n]
+				if err := ctx.Err(); err != nil {
+					for _, i := range g.idxs {
+						out[i].Err = err
+					}
+					continue
+				}
+				p := e.Compile(g.query)
+				for lo := 0; lo < len(g.idxs); {
+					hi := lo + e.shardSize
+					if hi > len(g.idxs) {
+						hi = len(g.idxs)
+					}
+					select {
+					case shardCh <- batchShard{plan: p, idxs: g.idxs[lo:hi]}:
+						e.shards.Add(1)
+						lo = hi
+					case <-ctx.Done():
+						for _, i := range g.idxs[lo:] {
+							out[i].Err = ctx.Err()
+						}
+						lo = len(g.idxs)
+					}
+				}
+			}
+		}()
+	}
+	compileWG.Wait()
+	close(shardCh)
+	evalWG.Wait()
+}
+
+// affineOrder regroups one word group's request indexes so indexes
+// sharing an instance are consecutive (runs ordered by first
+// appearance, stable within a run). Same *Instance means same interned
+// snapshot for the duration of the batch, so consecutive dispatch turns
+// the per-snapshot tier memos into warm hits instead of contended — or,
+// past the memo LRU bound, thrashing — build-once entries.
+func affineOrder(reqs []Request, idxs []int) []int {
+	if len(idxs) < 2 {
+		return idxs
+	}
+	runs := make(map[*Instance][]int)
+	var order []*Instance
+	for _, i := range idxs {
+		db := reqs[i].DB
+		if _, ok := runs[db]; !ok {
+			order = append(order, db)
+		}
+		runs[db] = append(runs[db], i)
+	}
+	if len(order) == len(idxs) {
+		return idxs // no instance appears twice; input order is affine
+	}
+	affine := idxs[:0]
+	for _, db := range order {
+		affine = append(affine, runs[db]...)
+	}
+	return affine
+}
+
+// certainBatchUnsharded is the pre-sharding scheduler: one request
+// index at a time through a shared channel, plans compiled by whichever
+// evaluation worker draws the first request for a word. Selected by
+// EngineConfig.BatchShardSize < 0; kept for A/B comparison against the
+// sharded scheduler.
+func (e *Engine) certainBatchUnsharded(ctx context.Context, reqs []Request, out []Result) {
 	workers := e.workers
 	if workers > len(reqs) {
 		workers = len(reqs)
@@ -218,23 +440,40 @@ feed:
 			out[i].Err = err
 		}
 	}
-	return out
 }
 
-// CacheStats is a snapshot of the engine's plan-cache counters.
+// CacheStats is a snapshot of the engine's plan-cache and batch
+// scheduling counters.
 type CacheStats struct {
 	// Hits and Misses count Compile lookups since the engine was
-	// created.
+	// created. The sharded CertainBatch looks each distinct word up
+	// once per batch, not once per request.
 	Hits, Misses uint64
-	// Entries is the number of plans currently cached.
+	// Entries is the number of plans currently cached; an LRU cache
+	// may hold fewer plans than were ever compiled.
 	Entries int
+	// Compiles counts plan compilations that finished executing. Every
+	// miss leads to exactly one compilation (an evicted word looked up
+	// again is a fresh miss and a fresh compilation), so at rest
+	// Compiles == Misses; it is the number to report as "plans
+	// compiled", which Entries — the current residency — is not.
+	Compiles uint64
+	// Shards counts the shards the sharded CertainBatch scheduler has
+	// dispatched to evaluation workers.
+	Shards uint64
 }
 
 // CacheStats returns a snapshot of the plan-cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: e.miss, Entries: e.order.Len()}
+	return CacheStats{
+		Hits:     e.hits,
+		Misses:   e.miss,
+		Entries:  e.order.Len(),
+		Compiles: e.compiles.Load(),
+		Shards:   e.shards.Load(),
+	}
 }
 
 // defaultEngine backs the package-level Certain/CertainOpt/CertainBatch

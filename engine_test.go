@@ -2,10 +2,13 @@ package cqa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cqa/internal/repairs"
 	"cqa/internal/workload"
@@ -197,6 +200,122 @@ func TestCertainBatchEmpty(t *testing.T) {
 	if got := CertainBatch(context.Background(), nil); len(got) != 0 {
 		t.Errorf("empty batch: %v", got)
 	}
+}
+
+// skewedShardWorkload builds the sharded-scheduler stress mix: a few
+// hot query words whose requests cycle over nInstances shared instances
+// (scattered in input order, so only snapshot-affine dispatch serves
+// the per-snapshot tier memos warm), plus a tail of distinct cold NL
+// words whose plans are expensive to compile. reps is how many times
+// each (hot word, instance) pair recurs.
+func skewedShardWorkload(nInstances, facts, reps int) []Request {
+	dbs := make([]*Instance, nInstances)
+	for i := range dbs {
+		dbs[i] = workload.Random(workload.Config{
+			Relations:    []string{"R", "X", "Y"},
+			Constants:    facts / 2,
+			Facts:        facts,
+			ConflictRate: 0.3,
+			Seed:         int64(100 + i),
+		})
+	}
+	hot := []Query{MustParseQuery("RRX"), MustParseQuery("RXRYRY")}
+	var reqs []Request
+	for i := 0; i < reps*len(hot)*nInstances; i++ {
+		reqs = append(reqs, Request{
+			Query: hot[i%len(hot)],
+			DB:    dbs[(i/len(hot))%nInstances],
+		})
+	}
+	for k := 3; k <= 8; k++ { // cold words R^kX, one request each
+		reqs = append(reqs, Request{
+			Query: MustParseQuery(strings.Repeat("R", k) + "X"),
+			DB:    dbs[0],
+		})
+	}
+	return reqs
+}
+
+func distinctWords(reqs []Request) int {
+	seen := make(map[string]bool)
+	for _, r := range reqs {
+		seen[r.Query.String()] = true
+	}
+	return len(seen)
+}
+
+// TestCertainBatchShardedMatchesUnsharded checks the two-phase sharded
+// scheduler against the pre-sharding per-request scheduler on a skewed
+// word mix over shared instances: identical results in request order,
+// and exactly one plan compilation per distinct word despite the
+// concurrent compile pre-pass (run with -race and -cpu 1,4).
+func TestCertainBatchShardedMatchesUnsharded(t *testing.T) {
+	const nInstances = 8
+	reqs := skewedShardWorkload(nInstances, 60, 3)
+	sharded := NewEngine(EngineConfig{Workers: 8, CompileWorkers: 4, BatchShardSize: 4})
+	unsharded := NewEngine(EngineConfig{Workers: 8, BatchShardSize: -1})
+
+	got := sharded.CertainBatch(context.Background(), reqs)
+	want := unsharded.CertainBatch(context.Background(), reqs)
+	if len(got) != len(reqs) || len(want) != len(reqs) {
+		t.Fatalf("result lengths: sharded=%d unsharded=%d reqs=%d", len(got), len(want), len(reqs))
+	}
+	for i := range got {
+		if fmt.Sprintf("%+v", got[i]) != fmt.Sprintf("%+v", want[i]) {
+			t.Errorf("request %d (q=%v):\n sharded   %+v\n unsharded %+v",
+				i, reqs[i].Query, got[i], want[i])
+		}
+	}
+
+	words := distinctWords(reqs)
+	s := sharded.CacheStats()
+	if s.Compiles != uint64(words) || s.Misses != uint64(words) {
+		t.Errorf("per-word compile count must be exactly 1: %+v for %d distinct words", s, words)
+	}
+	// One plan-cache lookup per distinct word, not per request.
+	if s.Hits != 0 {
+		t.Errorf("sharded batch must look each word up once: %+v", s)
+	}
+	if s.Shards == 0 {
+		t.Errorf("no shards dispatched: %+v", s)
+	}
+	// Snapshot-affine dispatch: the PTIME-tier plan bound its interned
+	// tables exactly once per instance, every other decision was a warm
+	// memo hit.
+	ms := sharded.Compile(MustParseQuery("RXRYRY")).MemoStats()
+	if ms.Misses != nInstances {
+		t.Errorf("fixpoint bindings built %d times for %d snapshots", ms.Misses, nInstances)
+	}
+}
+
+// TestCertainBatchShardedCancellation cancels a sharded batch mid-run:
+// every request must either carry the context error or agree exactly
+// with an uncancelled reference run — no partial or stale decisions.
+func TestCertainBatchShardedCancellation(t *testing.T) {
+	reqs := skewedShardWorkload(4, 40, 8)
+	ref := NewEngine(EngineConfig{BatchShardSize: 4}).CertainBatch(context.Background(), reqs)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel()
+	}()
+	got := NewEngine(EngineConfig{Workers: 4, BatchShardSize: 2}).CertainBatch(ctx, reqs)
+	cancelled := 0
+	for i, res := range got {
+		if res.Err != nil {
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Errorf("request %d: unexpected error %v", i, res.Err)
+			}
+			cancelled++
+			continue
+		}
+		if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", ref[i]) {
+			t.Errorf("request %d diverges from reference:\n got %+v\nwant %+v", i, res, ref[i])
+		}
+	}
+	t.Logf("cancelled %d/%d requests", cancelled, len(reqs))
 }
 
 // TestEngineConcurrentCompile hammers one engine from many goroutines

@@ -155,6 +155,16 @@ func Compile(q words.Word) *Compiled {
 // Query returns the compiled query word.
 func (c *Compiled) Query() words.Word { return c.q.Clone() }
 
+// EncodingStats returns the hit/miss counters of the per-snapshot CNF
+// memo: Misses is the number of encodings built, Hits the number of
+// decisions served by an incremental re-solve of a resident encoding.
+func (c *Compiled) EncodingStats() memo.Stats {
+	if c.encs == nil {
+		return memo.Stats{}
+	}
+	return c.encs.Stats()
+}
+
 // IsCertain decides CERTAINTY(q) on db, reusing the memoized encoding
 // (and its incremental solver) when db's interned snapshot is unchanged
 // since a previous decision.

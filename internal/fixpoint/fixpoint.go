@@ -255,6 +255,11 @@ func (c *Compiled) Query() words.Word { return c.q.Clone() }
 // NFA returns the compiled NFA(q).
 func (c *Compiled) NFA() *automata.NFA { return c.nfa }
 
+// BindingStats returns the hit/miss counters of the per-snapshot
+// binding memo: Misses is the number of instance-bound table builds,
+// Hits the number of Solves served from a resident binding.
+func (c *Compiled) BindingStats() memo.Stats { return c.bindings.Stats() }
+
 // Solve runs the worklist implementation of the Figure 5 algorithm on db
 // for path query q. The Certain field of the result decides
 // CERTAINTY(q) whenever q satisfies C3.

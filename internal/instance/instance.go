@@ -76,10 +76,40 @@ func (db *Instance) snapshot() viewCache {
 	return viewCache{}
 }
 
-// publish stores an updated snapshot. Losing a concurrent publish race
-// only costs a recomputation later; the stored value is always fully
-// built.
-func (db *Instance) publish(c viewCache) { db.views.Store(&c) }
+// publish merges an updated snapshot under a CAS loop and returns the
+// snapshot that won. Fields already published win over the caller's
+// freshly built ones, so concurrent readers racing to memoize the same
+// view all converge on ONE value — in particular one *Interned pointer
+// per instance state, the identity the solver tiers (and the engine's
+// snapshot-affine batch shards) key their per-snapshot memos on. A
+// losing builder's work is discarded, never handed out. Callers must
+// therefore return the winning snapshot's field, not their own build.
+func (db *Instance) publish(c viewCache) viewCache {
+	for {
+		old := db.views.Load()
+		merged := c
+		if old != nil {
+			if old.adom != nil {
+				merged.adom = old.adom
+			}
+			if old.blocks != nil {
+				merged.blocks = old.blocks
+			}
+			if old.facts != nil {
+				merged.facts = old.facts
+			}
+			if old.rels != nil {
+				merged.rels = old.rels
+			}
+			if old.interned != nil {
+				merged.interned = old.interned
+			}
+		}
+		if db.views.CompareAndSwap(old, &merged) {
+			return merged
+		}
+	}
+}
 
 // invalidate drops the memoized views after a mutation.
 func (db *Instance) invalidate() { db.views.Store(nil) }
@@ -198,8 +228,7 @@ func (db *Instance) Facts() []Fact {
 		return a.Val < b.Val
 	})
 	c.facts = out
-	db.publish(c)
-	return out
+	return db.publish(c).facts
 }
 
 // Adom returns the active domain in sorted order. The returned slice is
@@ -215,8 +244,7 @@ func (db *Instance) Adom() []string {
 	}
 	sort.Strings(out)
 	c.adom = out
-	db.publish(c)
-	return out
+	return db.publish(c).adom
 }
 
 // InAdom reports whether constant c occurs in db.
@@ -238,8 +266,7 @@ func (db *Instance) Relations() []string {
 	}
 	sort.Strings(out)
 	c.rels = out
-	db.publish(c)
-	return out
+	return db.publish(c).rels
 }
 
 // Block returns the non-key values of the block R(key, *), sorted.
@@ -271,8 +298,7 @@ func (db *Instance) Blocks() []BlockID {
 		return out[i].Key < out[j].Key
 	})
 	c.blocks = out
-	db.publish(c)
-	return out
+	return db.publish(c).blocks
 }
 
 // Interned is an immutable dense-integer view of an instance: the
@@ -341,8 +367,9 @@ func (db *Instance) Interned() *Interned {
 	}
 	c := db.snapshot()
 	c.interned = iv
-	db.publish(c)
-	return iv
+	// Adopt a concurrently published snapshot if one beat this build:
+	// every caller must see the same pointer for the same state.
+	return db.publish(c).interned
 }
 
 // NumConsts returns the number of interned constants (|adom|).

@@ -342,3 +342,51 @@ func TestInternedConcurrentReaders(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestInternedConvergesUnderRace: concurrent first-time Interned calls
+// on one unchanged instance must all return the SAME pointer — the
+// publish CAS adopts the first published build, so the per-snapshot
+// memos in the solver tiers never see duplicate keys for one instance
+// state (run with -race).
+func TestInternedConvergesUnderRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		db := MustParseFacts("R(a,b) R(a,c) R(b,c) X(c,d)")
+		const readers = 8
+		got := make([]*Interned, readers)
+		var wg sync.WaitGroup
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got[g] = db.Interned()
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < readers; g++ {
+			if got[g] != got[0] {
+				t.Fatalf("round %d: readers %d and 0 hold distinct interned snapshots", round, g)
+			}
+		}
+	}
+}
+
+// TestCSVRoundTripQuotedFields: WriteCSV quotes values containing
+// commas or quotes (RFC 4180); ReadCSV must read its own output back
+// verbatim.
+func TestCSVRoundTripQuotedFields(t *testing.T) {
+	db := New()
+	db.AddFact("R", "a", `x,y`)
+	db.AddFact("R", `k"ey`, "v")
+	db.AddFact("S", "a", "plain")
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Errorf("round trip mismatch: %s vs %s", db, back)
+	}
+}

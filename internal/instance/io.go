@@ -1,7 +1,6 @@
 package instance
 
 import (
-	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -20,34 +19,34 @@ func (db *Instance) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV reads an instance from CSV rows "rel,key,val". Blank lines and
-// lines starting with '#' are skipped.
+// ReadCSV reads an instance from CSV rows "rel,key,val". Blank lines
+// and lines starting with '#' are skipped. Rows are RFC-4180 CSV, so a
+// quoted field may contain commas or quotes — everything WriteCSV
+// emits reads back verbatim — and fields are trimmed of surrounding
+// whitespace after parsing.
 func ReadCSV(r io.Reader) (*Instance, error) {
 	db := New()
-	sc := bufio.NewScanner(r)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return db, nil
 		}
-		parts := strings.Split(text, ",")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("instance: line %d: want rel,key,val, got %q", line, text)
+		if err != nil {
+			return nil, fmt.Errorf("instance: read csv: %w", err)
 		}
-		rel := strings.TrimSpace(parts[0])
-		key := strings.TrimSpace(parts[1])
-		val := strings.TrimSpace(parts[2])
+		line, _ := cr.FieldPos(0)
+		rel := strings.TrimSpace(rec[0])
+		key := strings.TrimSpace(rec[1])
+		val := strings.TrimSpace(rec[2])
 		if rel == "" || key == "" || val == "" {
-			return nil, fmt.Errorf("instance: line %d: empty field in %q", line, text)
+			return nil, fmt.Errorf("instance: line %d: empty field in %q", line, strings.Join(rec, ","))
 		}
 		db.AddFact(rel, key, val)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("instance: read csv: %w", err)
-	}
-	return db, nil
 }
 
 // ParseFacts parses a compact fact-list syntax used pervasively in tests

@@ -33,6 +33,23 @@ type LRU[K comparable, V any] struct {
 	order *list.List // *entry[K, V], front = most recently used
 	index map[K]*list.Element
 	total int64 // summed cost of charged resident entries
+	hits  uint64
+	miss  uint64
+}
+
+// Stats is a snapshot of an LRU's lookup counters. A miss is a Get that
+// created a resident entry (and therefore ran — or joined — the build);
+// a hit served an already-resident entry. A key that was evicted and
+// looked up again counts as a fresh miss, so Misses is exactly the
+// number of builds started over the memo's lifetime.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// Add returns the field-wise sum of two stats snapshots, for callers
+// aggregating several memos (e.g. a plan's tier artifacts).
+func (s Stats) Add(t Stats) Stats {
+	return Stats{Hits: s.Hits + t.Hits, Misses: s.Misses + t.Misses}
 }
 
 // entry builds its value at most once; concurrent Gets for the same key
@@ -85,8 +102,10 @@ func (m *LRU[K, V]) Get(key K, build func() V) V {
 	m.mu.Lock()
 	el, ok := m.index[key]
 	if ok {
+		m.hits++
 		m.order.MoveToFront(el)
 	} else {
+		m.miss++
 		el = m.order.PushFront(&entry[K, V]{key: key})
 		m.index[key] = el
 		for m.order.Len() > m.capacity {
@@ -133,6 +152,13 @@ func (m *LRU[K, V]) charge(e *entry[K, V]) {
 	for m.total > m.budget && m.order.Len() > 1 {
 		m.evictOldest()
 	}
+}
+
+// Stats returns a snapshot of the memo's hit/miss counters.
+func (m *LRU[K, V]) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Hits: m.hits, Misses: m.miss}
 }
 
 // Contains reports whether key is resident (without touching the LRU

@@ -265,6 +265,24 @@ func newEvaluator(q words.Word, d *Decomposition) *Evaluator {
 // Decomposition returns the certified decomposition the evaluator runs.
 func (e *Evaluator) Decomposition() *Decomposition { return e.d }
 
+// BindingStats aggregates the hit/miss counters of every per-snapshot
+// memo behind the evaluator: the NL artifact memo itself plus the
+// binding memos of whichever fixpoint sub-solvers the decomposition
+// uses (the loop-free whole, or the exit-word avoidance solver).
+func (e *Evaluator) BindingStats() memo.Stats {
+	var s memo.Stats
+	if e.bindings != nil {
+		s = s.Add(e.bindings.Stats())
+	}
+	if e.whole != nil {
+		s = s.Add(e.whole.BindingStats())
+	}
+	if e.exit != nil {
+		s = s.Add(e.exit.BindingStats())
+	}
+	return s
+}
+
 // IsCertain decides CERTAINTY(q) on db with the precompiled machinery,
 // evaluating "∃c ∈ adom(db): ¬O(c)".
 func (e *Evaluator) IsCertain(db *instance.Instance) bool {

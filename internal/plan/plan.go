@@ -28,12 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cqa/internal/classify"
 	"cqa/internal/conp"
 	"cqa/internal/fixpoint"
 	"cqa/internal/fo"
 	"cqa/internal/instance"
+	"cqa/internal/memo"
 	"cqa/internal/nl"
 	"cqa/internal/repairs"
 	"cqa/internal/words"
@@ -110,23 +112,26 @@ type Plan struct {
 	// the decomposition rendered once at compile time — the NL tier's
 	// per-call work is interned and allocation-light, so rebuilding the
 	// diagnostic string per Execute would dominate it.
-	nlOnce sync.Once
-	nlEval *nl.Evaluator
-	nlErr  error
-	nlNote string
+	nlOnce  sync.Once
+	nlBuilt atomic.Bool
+	nlEval  *nl.Evaluator
+	nlErr   error
+	nlNote  string
 
 	// fp is the compiled Figure 5 machinery, shared by the PTIME tier,
 	// the NL fallback, and forced ptime-fixpoint runs. Lazily built
 	// unless it is the default tier.
-	fpOnce sync.Once
-	fp     *fixpoint.Compiled
+	fpOnce  sync.Once
+	fpBuilt atomic.Bool
+	fp      *fixpoint.Compiled
 
 	// satC is the compiled SAT tier: the query-side clause skeleton plus
 	// the per-snapshot CNF memo. Lazily built unless SAT is the default
 	// tier (it also serves WantCounterexample requests from tiers that
 	// produce no counterexample of their own).
-	satOnce sync.Once
-	satC    *conp.Compiled
+	satOnce  sync.Once
+	satBuilt atomic.Bool
+	satC     *conp.Compiled
 }
 
 // Compile classifies q and precomputes the artifacts of its default
@@ -204,6 +209,7 @@ func (p *Plan) evaluator() (*nl.Evaluator, error) {
 		if p.nlErr == nil {
 			p.nlNote = p.nlEval.Decomposition().String()
 		}
+		p.nlBuilt.Store(true)
 	})
 	return p.nlEval, p.nlErr
 }
@@ -212,6 +218,7 @@ func (p *Plan) evaluator() (*nl.Evaluator, error) {
 func (p *Plan) fixpoint() *fixpoint.Compiled {
 	p.fpOnce.Do(func() {
 		p.fp = fixpoint.Compile(p.word)
+		p.fpBuilt.Store(true)
 	})
 	return p.fp
 }
@@ -220,8 +227,31 @@ func (p *Plan) fixpoint() *fixpoint.Compiled {
 func (p *Plan) conp() *conp.Compiled {
 	p.satOnce.Do(func() {
 		p.satC = conp.Compile(p.word)
+		p.satBuilt.Store(true)
 	})
 	return p.satC
+}
+
+// MemoStats aggregates the hit/miss counters of the per-snapshot memos
+// behind every tier the plan has built so far: the fixpoint binding
+// memo, the NL artifact memos, and the conp encoding memo. Misses count
+// instance-bound artifact builds, Hits decisions served warm from a
+// resident snapshot entry — the quantity the engine's snapshot-affine
+// batch shards exist to maximize. Tiers not yet compiled (lazily built
+// fallbacks) contribute nothing; the atomic built flags make this safe
+// to call concurrently with evaluation.
+func (p *Plan) MemoStats() memo.Stats {
+	var s memo.Stats
+	if p.nlBuilt.Load() && p.nlErr == nil {
+		s = s.Add(p.nlEval.BindingStats())
+	}
+	if p.fpBuilt.Load() {
+		s = s.Add(p.fp.BindingStats())
+	}
+	if p.satBuilt.Load() {
+		s = s.Add(p.satC.EncodingStats())
+	}
+	return s
 }
 
 // Certain decides CERTAINTY(q) on db with automatic tier dispatch.
