@@ -21,6 +21,7 @@ import (
 	"cqa/internal/fixpoint"
 	"cqa/internal/fo"
 	"cqa/internal/graphs"
+	"cqa/internal/instance"
 	"cqa/internal/nl"
 	"cqa/internal/reductions"
 	"cqa/internal/repairs"
@@ -364,6 +365,76 @@ func BenchmarkCertainBatchSharded(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// mutationFact picks the fact BenchmarkWarmAfterMutation toggles: its
+// key names an existing conflicting block of rel and its value is drawn
+// from the active domain, so adding and removing it never changes the
+// constant universe and every toggle stays on the delta-interning path.
+func mutationFact(b *testing.B, db *Instance, rel string) instance.Fact {
+	b.Helper()
+	for _, bid := range db.ConflictingBlocks() {
+		if bid.Rel != rel {
+			continue
+		}
+		in := make(map[string]bool)
+		for _, v := range db.Block(bid.Rel, bid.Key) {
+			in[v] = true
+		}
+		for _, c := range db.Adom() {
+			if !in[c] {
+				return instance.Fact{Rel: rel, Key: bid.Key, Val: c}
+			}
+		}
+	}
+	b.Fatalf("no conflicting %s block with a free in-domain value", rel)
+	return instance.Fact{}
+}
+
+// BenchmarkWarmAfterMutation (experiment E18): the serving regime where
+// instances churn between decisions. Every "mutated" iteration toggles
+// one in-universe fact and decides through the engine, so the warm call
+// is a lineage repair — delta intern plus the tier's patch — instead of
+// a cold per-snapshot rebuild; "unchanged" is the pure memo hit the
+// benchgate ratio gates mutation-warm-{fixpoint,nl,conp} divide by
+// (≤ 10x at facts=1000). The fixpoint and SAT cases mutate R, a
+// relation their query reads; the NL case mutates Y, which RRX does not
+// read, so its repair exercises the evaluator's relation-relevance
+// short-circuit rather than a re-evaluation.
+func BenchmarkWarmAfterMutation(b *testing.B) {
+	cases := []struct {
+		name   string
+		query  string
+		mutRel string
+	}{
+		{"fixpoint", "RXRYRY", "R"},
+		{"nl", "RRX", "Y"},
+		{"conp", "ARRX", "R"},
+	}
+	for _, c := range cases {
+		q := MustParseQuery(c.query)
+		for _, size := range benchSizes {
+			db := benchInstance(size)
+			f := mutationFact(b, db, c.mutRel)
+			eng := NewEngine(EngineConfig{})
+			eng.Certain(q, db) // compile the plan, build the lineage root
+			b.Run(fmt.Sprintf("%s/unchanged/facts=%d", c.name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng.Certain(q, db)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/mutated/facts=%d", c.name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if db.Contains(f) {
+						db.Remove(f)
+					} else {
+						db.Add(f)
+					}
+					eng.Certain(q, db)
+				}
+			})
+		}
 	}
 }
 

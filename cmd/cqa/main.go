@@ -10,7 +10,7 @@
 //	cqa solve -q <query> (-db <file.csv> | -facts "R(a,b) ...") [-method M] [-cex]
 //	cqa plan -q <query>
 //	cqa batch [-file reqs.txt] [-workers N] [-format lines|ndjson|csv]
-//	          [-max-line BYTES] [-shard-size N] [-compile-workers N]
+//	          [-max-line BYTES] [-shard-size N] [-compile-workers N] [-stats]
 //	cqa rewrite -q <query>
 //	cqa language -q <query> [-max N]
 //	cqa nfa -q <query>
@@ -83,7 +83,7 @@ func usage() {
   cqa plan -q Q                    compiled execution plan for q
   cqa batch [-file F] [-workers N] [-format lines|ndjson|csv]
             [-max-line BYTES] [-shard-size N] [-compile-workers N]
-                                   decide a request batch; ndjson reads
+            [-stats]               decide a request batch; ndjson reads
                                    {"query":..., "facts":[...]} lines and
                                    streams one-line-JSON results; csv reads
                                    id,query,rel,key,val fact rows grouped
@@ -217,6 +217,7 @@ func cmdBatch(args []string) error {
 	maxLine := fs.Int("max-line", defaultMaxLine, "maximum request line length in bytes")
 	shardSize := fs.Int("shard-size", 0, "requests per batch shard (default: engine default; <0 disables sharding)")
 	compileWorkers := fs.Int("compile-workers", 0, "concurrent plan compilations in the batch pre-pass (default: workers)")
+	showStats := fs.Bool("stats", false, "print per-instance memo statistics (hits, lineage repairs, cold builds) after the summary")
 	fs.Parse(args)
 	if *maxLine <= 0 {
 		return fmt.Errorf("-max-line must be positive, got %d", *maxLine)
@@ -238,16 +239,24 @@ func cmdBatch(args []string) error {
 	})
 	lr := newLineReader(r, *maxLine)
 
+	run := batchLines
+	summaryTo := io.Writer(os.Stdout)
 	switch *format {
 	case "lines":
-		return batchLines(eng, lr, os.Stdout)
 	case "ndjson":
-		return batchNDJSON(eng, lr, os.Stdout)
+		run, summaryTo = batchNDJSON, os.Stderr
 	case "csv":
-		return batchCSV(eng, lr, os.Stdout)
+		run, summaryTo = batchCSV, os.Stderr
 	default:
 		return fmt.Errorf("unknown -format %q (want lines, ndjson or csv)", *format)
 	}
+	if err := run(eng, lr, os.Stdout); err != nil {
+		return err
+	}
+	if *showStats {
+		fmt.Fprintln(summaryTo, batchMemoLine(eng.CacheStats()))
+	}
+	return nil
 }
 
 // defaultMaxLine is the -max-line default: generous enough for large
@@ -316,6 +325,16 @@ func (lr *lineReader) errLineTooLong() error {
 func batchSummary(total int, stats cqa.CacheStats) string {
 	return fmt.Sprintf("# %d requests in %d shards, %d plans compiled (cache: %d entries, %d hits / %d misses)",
 		total, stats.Shards, stats.Compiles, stats.Entries, stats.Hits, stats.Misses)
+}
+
+// batchMemoLine renders the -stats line: the per-instance tier caches
+// aggregated across resident compiled plans. Repairs count misses that
+// were answered by patching a resident ancestor snapshot's state along
+// the mutation lineage instead of rebuilding cold.
+func batchMemoLine(stats cqa.CacheStats) string {
+	m := stats.Memo
+	return fmt.Sprintf("# memo: %d hits, %d repairs, %d cold builds, max lineage depth %d",
+		m.Hits, m.Repairs, m.ColdBuilds(), m.MaxLineageDepth)
 }
 
 // batchLines evaluates and prints in batchChunk-sized chunks, so

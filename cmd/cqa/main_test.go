@@ -100,6 +100,23 @@ func TestBatchLinesStreamsInChunks(t *testing.T) {
 	}
 }
 
+func TestBatchStatsLineReportsMemoCounters(t *testing.T) {
+	eng := testEngine()
+	in := "RRX ; R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)\n"
+	if err := batchLines(eng, newLineReader(strings.NewReader(in), defaultMaxLine), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	line := batchMemoLine(eng.CacheStats())
+	if !strings.HasPrefix(line, "# memo: ") || !strings.Contains(line, "cold builds") {
+		t.Fatalf("memo line: %q", line)
+	}
+	// The NL tier memoizes per snapshot, so a decided NL request must
+	// register at least one miss (the cold build) in the aggregate.
+	if st := eng.CacheStats().Memo; st.Hits+st.Misses == 0 {
+		t.Fatalf("memo stats empty after a decided batch: %+v", st)
+	}
+}
+
 func TestBatchLinesErrorsCarryLineNumbers(t *testing.T) {
 	in := "RRX ; R(0,1)\n\n# comment\nBOGUS-LINE\n"
 	err := batchLines(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), io.Discard)

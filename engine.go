@@ -81,6 +81,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cqa/internal/memo"
 	"cqa/internal/plan"
 )
 
@@ -144,11 +145,14 @@ type Engine struct {
 
 // cacheEntry compiles its plan at most once; concurrent requests for
 // the same fresh query block on the entry, not on the whole cache.
+// done flips after compilation so stats readers can reach the plan
+// without joining an in-flight compile.
 type cacheEntry struct {
 	key  string
 	once sync.Once
 	plan *Plan
 	word Query
+	done atomic.Bool
 }
 
 // NewEngine returns an Engine with the given configuration.
@@ -206,6 +210,7 @@ func (e *Engine) compileEntry(entry *cacheEntry) *Plan {
 	entry.once.Do(func() {
 		entry.plan = plan.Compile(entry.word.Word())
 		e.compiles.Add(1)
+		entry.done.Store(true)
 	})
 	return entry.plan
 }
@@ -461,19 +466,33 @@ type CacheStats struct {
 	// Shards counts the shards the sharded CertainBatch scheduler has
 	// dispatched to evaluation workers.
 	Shards uint64
+	// Memo aggregates the per-snapshot artifact memos behind every plan
+	// still cached: Hits are decisions served warm from a resident
+	// snapshot, Misses are instance-bound builds, of which Repairs were
+	// lineage repairs patched from a resident ancestor instead of built
+	// cold (Memo.ColdBuilds() gives the remainder), and MaxLineageDepth
+	// is the deepest snapshot delta chain any repair crossed. Plans
+	// evicted from the cache no longer contribute.
+	Memo memo.Stats
 }
 
 // CacheStats returns a snapshot of the plan-cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CacheStats{
+	s := CacheStats{
 		Hits:     e.hits,
 		Misses:   e.miss,
 		Entries:  e.order.Len(),
 		Compiles: e.compiles.Load(),
 		Shards:   e.shards.Load(),
 	}
+	for el := e.order.Front(); el != nil; el = el.Next() {
+		if entry := el.Value.(*cacheEntry); entry.done.Load() {
+			s.Memo = s.Memo.Add(entry.plan.MemoStats())
+		}
+	}
+	return s
 }
 
 // defaultEngine backs the package-level Certain/CertainOpt/CertainBatch

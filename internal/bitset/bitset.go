@@ -44,6 +44,22 @@ func (b Bits) Count() int {
 	return n
 }
 
+// Equal reports whether b and c hold the same bits (same length, same
+// words). The NL tier's lineage repair uses it as an equality cut: a
+// recomputed stage identical to the parent's stops the downstream
+// recompute cascade.
+func (b Bits) Equal(c Bits) bool {
+	if len(b) != len(c) {
+		return false
+	}
+	for i, w := range b {
+		if w != c[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ForEach calls f with the index of every set bit, ascending.
 func (b Bits) ForEach(f func(i int)) {
 	for wi, w := range b {

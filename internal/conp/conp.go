@@ -35,9 +35,25 @@
 // publishing a fresh snapshot pointer. Counterexample repairs are
 // decoded to interned fact ids at solve time and materialized to a
 // string-keyed *instance.Instance only on demand.
+//
+// Lineage repair. When a snapshot is a structural delta of a resident
+// ancestor (instance.Delta), the memo miss is served by patching the
+// ancestor's CNF in place instead of re-encoding: removed facts become
+// root-level unit clauses over their selectors (literally equivalent to
+// the cold-built child, so the learned-clause database survives), and
+// added facts get fresh selector and Tseitin variables spliced into the
+// live solver while the block's at-least-one and completion clauses are
+// weakened in place into their exact cold-built replacements (which
+// invalidates learned clauses — the patcher purges them, keeping saved
+// phases and variable activities). The ancestor's solver moves to the
+// patched encoding; structural shifts the patch cannot express — block
+// creation or emptying, selectors the solver has root-fixed, an
+// exhausted patch budget — fall back to a cold build. See patch for the
+// soundness argument.
 package conp
 
 import (
+	"sort"
 	"sync"
 
 	"cqa/internal/bitset"
@@ -65,6 +81,12 @@ const (
 	// clauses; beyond it the solver is rebuilt from the arena (dropping
 	// the learned database) rather than dragging it through every call.
 	maxLearnedFactor = 2
+
+	// maxPatchedBlocks bounds the blocks patched cumulatively along one
+	// snapshot lineage before the next repair falls back to a cold
+	// rebuild, so the weakened-clause and dead-variable residue a chain
+	// of patches leaves in the solver cannot grow without bound.
+	maxPatchedBlocks = 512
 )
 
 // Result reports the outcome of the SAT-based certainty check.
@@ -172,19 +194,40 @@ func (c *Compiled) IsCertain(db *instance.Instance) *Result {
 	return c.IsCertainInterned(db.Interned())
 }
 
-// IsCertainInterned is IsCertain on an interned snapshot directly.
+// IsCertainInterned is IsCertain on an interned snapshot directly. On a
+// memo miss it first tries a lineage repair: if an ancestor snapshot's
+// encoding is still resident, its solver — phases, activities, and when
+// sound its learned clauses — is patched in place to the new snapshot
+// instead of encoding and searching from scratch.
 func (c *Compiled) IsCertainInterned(iv *instance.Interned) *Result {
 	if c.k == 0 {
 		return &Result{Certain: true}
 	}
-	e := c.encs.Get(iv, func() *encoding { return c.encode(iv) })
-	res := &Result{Vars: e.nVars, Clauses: len(e.clauseEnd)}
+	e := c.encs.GetOrRepair(iv,
+		func(peek func(*instance.Interned) (*encoding, bool)) (*encoding, int, bool) {
+			var found *encoding
+			parent, touched, ok := instance.Lineage(iv, func(a *instance.Interned) bool {
+				pe, res := peek(a)
+				if res {
+					found = pe
+				}
+				return res
+			})
+			if !ok {
+				return nil, 0, false
+			}
+			child := c.patch(found, iv, touched)
+			if child == nil {
+				return nil, 0, false
+			}
+			return child, iv.LineageDepth() - parent.LineageDepth(), true
+		},
+		func() *encoding { return c.encode(iv) })
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.solver == nil || e.solver.NumLearned() > maxLearnedFactor*len(e.clauseEnd)+1024 {
-		e.buildSolver()
-	}
+	e.ensureSolver(c)
+	res := &Result{Vars: e.nVars, Clauses: e.solver.NumClauses()}
 	status := e.solver.SolveAssuming(e.roots...)
 	d, p, cf := e.solver.Stats()
 	res.Decisions, res.Propagations, res.Conflicts = d-e.prevDec, p-e.prevProp, cf-e.prevConf
@@ -258,9 +301,56 @@ type encoding struct {
 	// plus its watch lists.
 	bytes int64
 
+	// Lineage-patch state. A patched encoding shares the variable layout
+	// of layoutIV (the arena-built ancestor the lineage started from)
+	// and carries per-block overrides in blockVars: the current values
+	// of every patched block and their selector variables, which may
+	// live in the extension region above the ancestor's variable count.
+	// aloIdx and compIdx locate each block's at-least-one clause and
+	// each (position, key)'s completion clause in the solver's problem
+	// database; they are built once from the arena at the first patch
+	// and shared down the lineage (patches only append clauses and
+	// weaken existing ones in place, so the indices stay valid).
+	// patched counts blocks patched over the whole lineage, against
+	// maxPatchedBlocks. A patched encoding has a nil arena: if its
+	// solver is stolen by a further patch or outgrows the learned
+	// budget, ensureSolver re-encodes from the snapshot instead of
+	// replaying an arena.
+	layoutIV  *instance.Interned
+	blockVars map[int64]blockPatch
+	aloIdx    map[int64]int32
+	compIdx   map[int64]int32
+	patched   int
+
 	mu                          sync.Mutex
 	solver                      *sat.Solver
 	prevDec, prevProp, prevConf uint64
+}
+
+// blockPatch is the current state of one patched block: parallel value
+// and selector-variable slices, in no particular order.
+type blockPatch struct {
+	vals []int32
+	vars []int32
+}
+
+// blockKey64 packs a (relation id, block key) pair into one map key.
+func blockKey64(rid, key int32) int64 { return int64(rid)<<32 | int64(uint32(key)) }
+
+// zvar returns the reachability variable z[c, i] in e's layout.
+func (e *encoding) zvar(cst int32, i int) int {
+	return int(e.zBase) + int(cst)*e.k + i + 1
+}
+
+// findBlock locates relation rid's block keyed by key in iv; blocks are
+// stored sorted by interned key id.
+func findBlock(iv *instance.Interned, rid, key int32) (instance.InternedBlock, bool) {
+	bls := iv.RelBlocks(rid)
+	j := sort.Search(len(bls), func(i int) bool { return bls[i].Key >= key })
+	if j < len(bls) && bls[j].Key == key {
+		return bls[j], true
+	}
+	return instance.InternedBlock{}, false
 }
 
 // encode builds the CNF for iv from the compiled skeleton.
@@ -268,7 +358,7 @@ func (c *Compiled) encode(iv *instance.Interned) *encoding {
 	k := c.k
 	nc := iv.NumConsts()
 	nr := iv.NumRels()
-	e := &encoding{iv: iv, k: k}
+	e := &encoding{iv: iv, k: k, layoutIV: iv}
 
 	// Selector layout: enumerate blocks relation-major in interned
 	// order; prefix sums over block sizes give each fact its variable.
@@ -438,24 +528,304 @@ func (e *encoding) buildSolver() {
 	e.prevDec, e.prevProp, e.prevConf = 0, 0, 0
 }
 
+// ensureSolver makes e.solver usable: absent (never built, or stolen by
+// a lineage child) or dragging too large a learned database, it is
+// rebuilt. Patched encodings have no arena, so their rebuild re-encodes
+// from the snapshot and resets the patch state to a fresh lineage root.
+// Caller holds e.mu.
+func (e *encoding) ensureSolver(c *Compiled) {
+	if e.solver != nil && e.solver.NumLearned() <= maxLearnedFactor*len(e.clauseEnd)+1024 {
+		return
+	}
+	if e.arena == nil {
+		f := c.encode(e.iv)
+		e.relBlockStart, e.selOff, e.zBase, e.nVars = f.relBlockStart, f.selOff, f.zBase, f.nVars
+		e.rids, e.arena, e.clauseEnd, e.roots = f.rids, f.arena, f.clauseEnd, f.roots
+		e.layoutIV, e.blockVars, e.aloIdx, e.compIdx, e.patched = e.iv, nil, nil, nil, 0
+	}
+	e.buildSolver()
+}
+
+// curBlockVars returns the current values of block (rid, key) and their
+// selector variables, preferring a lineage-patch override and falling
+// back to the arena layout of layoutIV.
+func (e *encoding) curBlockVars(rid, key int32) ([]int32, []int32, bool) {
+	if bp, ok := e.blockVars[blockKey64(rid, key)]; ok {
+		return bp.vals, bp.vars, true
+	}
+	bls := e.layoutIV.RelBlocks(rid)
+	j := sort.Search(len(bls), func(i int) bool { return bls[i].Key >= key })
+	if j >= len(bls) || bls[j].Key != key {
+		return nil, nil, false
+	}
+	base := e.selOff[int(e.relBlockStart[rid])+j] + 1
+	vals := bls[j].Vals
+	vars := make([]int32, len(vals))
+	for i := range vars {
+		vars[i] = base + int32(i)
+	}
+	return vals, vars, true
+}
+
+// buildPatchIndex scans the arena once and records every block's
+// at-least-one clause index and every (position, key) completion clause
+// index. The scan classifies by first literal: only at-least-one
+// clauses open with a positive selector literal (every other clause
+// shape the encoder emits opens with a negation), and only completions
+// open with a negated z literal. Caller holds e.mu; e.arena non-nil.
+func (e *encoding) buildPatchIndex() {
+	liv := e.layoutIV
+	firstVar := make(map[int32]int64)
+	gb := 0
+	for r := 0; r < liv.NumRels(); r++ {
+		for _, bl := range liv.RelBlocks(int32(r)) {
+			firstVar[e.selOff[gb]+1] = blockKey64(int32(r), bl.Key)
+			gb++
+		}
+	}
+	e.aloIdx = make(map[int64]int32, gb)
+	e.compIdx = make(map[int64]int32)
+	zMax := e.zBase + int32(liv.NumConsts()*e.k)
+	var start int32
+	for ci, ce := range e.clauseEnd {
+		l0 := e.arena[start]
+		start = ce
+		switch {
+		case l0 > 0 && l0 <= e.zBase:
+			e.aloIdx[firstVar[l0]] = int32(ci)
+		case l0 < 0 && -l0 > e.zBase && -l0 <= zMax:
+			off := int(-l0-e.zBase) - 1
+			e.compIdx[int64(off%e.k)<<32|int64(uint32(int32(off/e.k)))] = int32(ci)
+		}
+	}
+}
+
+// patch derives the encoding for iv from a resident parent encoding by
+// mutating the parent's solver in place. Fact removals become root unit
+// clauses over the old selectors — conjoined with the block's original
+// constraints they are literally equivalent to the cold-built child
+// clauses, so even the learned database stays sound and is kept. Fact
+// additions extend the solver with fresh selector (and Tseitin)
+// variables, add the new at-most-one and definition clauses, and weaken
+// the block's at-least-one and completion clauses in place into their
+// exact cold-built replacements; weakening invalidates learned clauses,
+// so those patches purge the learned database first (phases and
+// activities survive). The parent's solver moves to the child;
+// re-deciding the parent later rebuilds it from the parent's arena.
+//
+// patch returns nil when repairing would be unsound or unprofitable and
+// the caller must encode cold: the parent has no live solver (already
+// stolen, or derived root unsatisfiability), a touched block was
+// created or emptied (the z-liveness structure of the encoding would
+// shift), or the lineage exhausted its patch budget. Root-level
+// assignments never force a bail: removals only strengthen the formula
+// (a root conflict with an existing assignment correctly proves the
+// child unsatisfiable), and before any weakening the patch retracts
+// every root assignment that could depend on a clause about to be
+// weakened (RetractDepending), so the surviving trail holds of the
+// weaker formula too.
+func (c *Compiled) patch(pe *encoding, iv *instance.Interned, touched []instance.BlockRef) *encoding {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	s := pe.solver
+	if s == nil || s.RootUnsat() {
+		return nil
+	}
+	if pe.patched+len(touched) > maxPatchedBlocks {
+		return nil
+	}
+
+	// Plan every edit before mutating anything: a feasibility failure on
+	// the last touched block must leave the parent solver untouched.
+	type blockEdit struct {
+		key64      int64
+		rid, key   int32
+		vals, vars []int32 // surviving values and their variables
+		added      []int32 // value ids to splice in
+		removedVar []int32 // variables of removed values
+	}
+	contains := func(xs []int32, v int32) bool {
+		for _, x := range xs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	edits := make([]blockEdit, 0, len(touched))
+	needPurge := false
+	for _, ref := range touched {
+		bl, ok := findBlock(iv, ref.Rel, ref.Key)
+		if !ok {
+			return nil // block emptied
+		}
+		vals, vars, ok := pe.curBlockVars(ref.Rel, ref.Key)
+		if !ok {
+			return nil // block created
+		}
+		ed := blockEdit{key64: blockKey64(ref.Rel, ref.Key), rid: ref.Rel, key: ref.Key}
+		for j, v := range vals {
+			if contains(bl.Vals, v) {
+				ed.vals = append(ed.vals, v)
+				ed.vars = append(ed.vars, vars[j])
+			} else {
+				ed.removedVar = append(ed.removedVar, vars[j])
+			}
+		}
+		for _, v := range bl.Vals {
+			if !contains(vals, v) {
+				ed.added = append(ed.added, v)
+			}
+		}
+		if len(ed.added) == 0 && len(ed.removedVar) == 0 {
+			continue // touched but content-identical (e.g. add then remove)
+		}
+		if len(ed.added) > 0 {
+			needPurge = true
+		}
+		edits = append(edits, ed)
+	}
+
+	if len(edits) > 0 && pe.aloIdx == nil {
+		pe.buildPatchIndex()
+	}
+	if needPurge {
+		// Additions weaken clauses in place, so first drop everything
+		// derived through the strong formula: the learned database, and
+		// every root assignment depending on a clause about to be
+		// weakened — each extended block's at-least-one clause and its
+		// key's completion clauses at every matching query position.
+		var weak []int
+		for _, ed := range edits {
+			if len(ed.added) == 0 {
+				continue
+			}
+			weak = append(weak, int(pe.aloIdx[ed.key64]))
+			for i, rid := range pe.rids {
+				if rid != ed.rid {
+					continue
+				}
+				if idx, ok := pe.compIdx[int64(i)<<32|int64(uint32(ed.key))]; ok {
+					weak = append(weak, int(idx))
+				}
+			}
+		}
+		s.PurgeLearnts()
+		s.RetractDepending(weak)
+	}
+	d0, p0, cf0 := s.Stats()
+	child := &encoding{
+		iv:            iv,
+		k:             pe.k,
+		relBlockStart: pe.relBlockStart,
+		selOff:        pe.selOff,
+		zBase:         pe.zBase,
+		nVars:         pe.nVars,
+		rids:          pe.rids,
+		clauseEnd:     pe.clauseEnd,
+		roots:         pe.roots,
+		bytes:         pe.bytes + 512*int64(len(edits)+1),
+		layoutIV:      pe.layoutIV,
+		aloIdx:        pe.aloIdx,
+		compIdx:       pe.compIdx,
+		patched:       pe.patched + len(edits),
+		solver:        s,
+		prevDec:       d0,
+		prevProp:      p0,
+		prevConf:      cf0,
+	}
+	child.blockVars = make(map[int64]blockPatch, len(pe.blockVars)+len(edits))
+	for k64, bp := range pe.blockVars {
+		child.blockVars[k64] = bp
+	}
+
+	for _, ed := range edits {
+		for _, xv := range ed.removedVar {
+			s.AddClauseFrom([]int{-int(xv)})
+		}
+		for _, d := range ed.added {
+			nv := s.NumVars() + 1
+			s.ExtendVars(nv)
+			for _, w := range ed.vars {
+				s.AddClauseFrom([]int{-int(w), -nv})
+			}
+			s.WeakenClause(int(child.aloIdx[ed.key64]), nv)
+			for i, rid := range child.rids {
+				if rid != ed.rid {
+					continue
+				}
+				z := child.zvar(ed.key, i)
+				comp := int(child.compIdx[int64(i)<<32|int64(uint32(ed.key))])
+				if i+1 == child.k {
+					s.AddClauseFrom([]int{-nv, z})
+					s.WeakenClause(comp, nv)
+					continue
+				}
+				if child.rids[i+1] < 0 {
+					continue
+				}
+				if _, ok := findBlock(iv, child.rids[i+1], d); !ok {
+					continue // successor can never start the suffix
+				}
+				zn := child.zvar(d, i+1)
+				a := s.NumVars() + 1
+				s.ExtendVars(a)
+				s.AddClauseFrom([]int{-a, nv})
+				s.AddClauseFrom([]int{-a, zn})
+				s.AddClauseFrom([]int{-nv, -zn, a})
+				s.AddClauseFrom([]int{-a, z})
+				s.WeakenClause(comp, a)
+			}
+			ed.vals = append(ed.vals, d)
+			ed.vars = append(ed.vars, int32(nv))
+		}
+		child.blockVars[ed.key64] = blockPatch{vals: ed.vals, vars: ed.vars}
+	}
+	child.nVars = s.NumVars()
+	pe.solver = nil
+	return child
+}
+
 // decodeSel reads the chosen value id of every block out of the model.
-// Caller holds e.mu (the model lives in the shared solver).
+// Caller holds e.mu (the model lives in the shared solver). On a
+// patched encoding, blocks with a lineage override read their spliced
+// variables; everything else falls back to the arena layout (no block
+// set ever shifts along a patchable lineage, so the layout lookup
+// always resolves).
 func (e *encoding) decodeSel() []int32 {
 	m := e.solver.Model()
 	iv := e.iv
-	sel := make([]int32, len(e.selOff)-1)
-	gb := 0
+	if e.blockVars == nil {
+		sel := make([]int32, len(e.selOff)-1)
+		gb := 0
+		for r := 0; r < iv.NumRels(); r++ {
+			for _, bl := range iv.RelBlocks(int32(r)) {
+				base := e.selOff[gb] + 1
+				sel[gb] = bl.Vals[0]
+				for vi := range bl.Vals {
+					if m[base+int32(vi)] {
+						sel[gb] = bl.Vals[vi]
+						break
+					}
+				}
+				gb++
+			}
+		}
+		return sel
+	}
+	var sel []int32
 	for r := 0; r < iv.NumRels(); r++ {
 		for _, bl := range iv.RelBlocks(int32(r)) {
-			base := e.selOff[gb] + 1
-			sel[gb] = bl.Vals[0]
-			for vi := range bl.Vals {
-				if m[base+int32(vi)] {
-					sel[gb] = bl.Vals[vi]
-					break
+			choice := bl.Vals[0]
+			if vals, vars, ok := e.curBlockVars(int32(r), bl.Key); ok {
+				for j, v := range vars {
+					if m[v] {
+						choice = vals[j]
+						break
+					}
 				}
 			}
-			gb++
+			sel = append(sel, choice)
 		}
 	}
 	return sel

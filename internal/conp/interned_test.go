@@ -130,12 +130,17 @@ func TestConpMemoInvalidation(t *testing.T) {
 	}
 	concurrent(true, "after Remove")
 
-	// Restore: the no-decision must come back through a third snapshot.
+	// Restore: the re-add exactly undoes the removal, so the intern
+	// layer collapses back onto the first snapshot pointer and the
+	// no-decision is served by the originally memoized encoding.
 	db.AddFact("R", "a", "c")
+	if db.Interned() != iv1 {
+		t.Fatal("toggle-back did not restore the original snapshot pointer")
+	}
 	concurrent(false, "after re-Add")
 
-	if n := cp.encs.Len(); n != 3 {
-		t.Errorf("encoding memo holds %d snapshots, want 3", n)
+	if n := cp.encs.Len(); n != 2 {
+		t.Errorf("encoding memo holds %d snapshots, want 2", n)
 	}
 }
 

@@ -142,91 +142,183 @@ const MaxBindings = 16
 // bites.
 const MaxBindingBytes = 32 << 20
 
-// bindingBytes prices a binding for the memo's byte budget.
+// bindingBytes prices a binding for the memo's byte budget. Segments
+// shared between positions are counted once per binding; segments a
+// repair shares with the parent binding are charged to both — a
+// conservative over-count that errs toward evicting sooner.
 func bindingBytes(b *binding) int64 {
-	return 4 * int64(len(b.blockKey)+len(b.pendingInit)+len(b.refStart)+len(b.refList))
+	total := int64(4 * len(b.base))
+	seen := make(map[*posBinding]bool, len(b.pos))
+	for _, pb := range b.pos {
+		if pb == nil || seen[pb] {
+			continue
+		}
+		seen[pb] = true
+		total += 4 * int64(len(pb.blockKey)+len(pb.pendingInit)+len(pb.refStart)+len(pb.refList))
+	}
+	return total
 }
 
 // binding is the instance-side half of the Figure 5 machinery for one
-// (compiled query, interned instance snapshot) pair: one block state
-// per (position v, block of relation q[v]) pair, plus a CSR index from
-// (position, successor constant) to the block states it decrements.
+// (compiled query, interned instance snapshot) pair: per query position
+// v, one block state per block of relation q[v], plus a CSR index from
+// successor constant to the block states it decrements. The per-position
+// tables depend only on (relation, snapshot), so positions sharing a
+// relation share one posBinding — and a lineage repair shares every
+// posBinding whose relation no touched block belongs to with the parent
+// binding, rebuilding only the touched relations' segments.
 // A binding is immutable after construction; per-Solve mutable state
 // (the pending counters and the bitset) is copied out per call, so one
 // binding serves any number of concurrent Solve calls.
 type binding struct {
-	nc int // number of interned constants
-	// blockKey[i] is the key constant id of block state i;
+	nc  int           // number of interned constants
+	pos []*posBinding // per position v; nil when q[v] is absent from the instance
+	// base[v] is the global block-state offset of position v (the
+	// per-Solve pending array concatenates the positions' segments);
+	// base[len(q)] is the total block-state count.
+	base []int32
+}
+
+// posBinding is one position's (equivalently, one relation's) segment:
+// block states in ascending key order and the value→states CSR.
+type posBinding struct {
+	// blockKey[i] is the key constant id of local block state i;
 	// pendingInit[i] its initial successor counter (block size).
 	blockKey    []int32
 	pendingInit []int32
-	// refList[refStart[v*nc+c]:refStart[v*nc+c+1]] lists the block
-	// states at position v whose block contains value c.
-	refStart []int32
+	// refList[refStart[c]:refStart[c+1]] lists the local block states
+	// whose block contains value c.
+	refStart []int32 // len nc+1
 	refList  []int32
 }
 
 // bind returns the memoized binding for iv, building it on first use.
+// On a miss it first tries a lineage repair: if an ancestor snapshot's
+// binding is still resident, only the posBinding segments of relations
+// with touched blocks are rebuilt and everything else is shared.
 func (cp *Compiled) bind(iv *instance.Interned) *binding {
-	return cp.bindings.Get(iv, func() *binding { return cp.buildBinding(iv) })
+	return cp.bindings.GetOrRepair(iv,
+		func(peek func(*instance.Interned) (*binding, bool)) (*binding, int, bool) {
+			var found *binding
+			parent, touched, ok := instance.Lineage(iv, func(a *instance.Interned) bool {
+				b, res := peek(a)
+				if res {
+					found = b
+				}
+				return res
+			})
+			if !ok {
+				return nil, 0, false
+			}
+			hops := iv.LineageDepth() - parent.LineageDepth()
+			return cp.repairBinding(found, iv, touched), hops, true
+		},
+		func() *binding { return cp.buildBinding(iv) })
 }
 
-// buildBinding constructs the interned transition tables for iv.
+// buildPos constructs the segment for relation rid of iv.
+func buildPos(iv *instance.Interned, rid int32, nc int) *posBinding {
+	blocks := iv.RelBlocks(rid)
+	pb := &posBinding{
+		blockKey:    make([]int32, len(blocks)),
+		pendingInit: make([]int32, len(blocks)),
+		refStart:    make([]int32, nc+1),
+	}
+	total := 0
+	counts := make([]int32, nc)
+	for _, bl := range blocks {
+		total += len(bl.Vals)
+		for _, val := range bl.Vals {
+			counts[val]++
+		}
+	}
+	var sum int32
+	for c := 0; c < nc; c++ {
+		pb.refStart[c] = sum
+		sum += counts[c]
+	}
+	pb.refStart[nc] = sum
+	pb.refList = make([]int32, total)
+	// Second pass: fill the CSR lists, reusing counts as fill cursors.
+	next := counts
+	copy(next, pb.refStart[:nc])
+	for i, bl := range blocks {
+		pb.blockKey[i] = bl.Key
+		pb.pendingInit[i] = int32(len(bl.Vals))
+		for _, val := range bl.Vals {
+			pb.refList[next[val]] = int32(i)
+			next[val]++
+		}
+	}
+	return pb
+}
+
+// buildBinding constructs the interned transition tables for iv from
+// scratch, sharing one segment across positions with the same relation.
 func (cp *Compiled) buildBinding(iv *instance.Interned) *binding {
 	n := len(cp.q)
 	nc := iv.NumConsts()
-	b := &binding{nc: nc}
-	// First pass: count refs per (position, value constant) cell and
-	// block states per position.
-	counts := make([]int32, n*nc+1)
-	total := 0
-	nblocks := 0
+	b := &binding{nc: nc, pos: make([]*posBinding, n), base: make([]int32, n+1)}
+	byRel := make(map[int32]*posBinding, n)
 	for v := 0; v < n; v++ {
 		rid, ok := iv.RelID(cp.q[v])
 		if !ok {
 			continue
 		}
-		row := v * nc
-		for _, bl := range iv.RelBlocks(rid) {
-			nblocks++
-			total += len(bl.Vals)
-			for _, val := range bl.Vals {
-				counts[row+int(val)]++
-			}
+		pb := byRel[rid]
+		if pb == nil {
+			pb = buildPos(iv, rid, nc)
+			byRel[rid] = pb
 		}
+		b.pos[v] = pb
 	}
-	b.blockKey = make([]int32, 0, nblocks)
-	b.pendingInit = make([]int32, 0, nblocks)
-	b.refStart = make([]int32, n*nc+1)
-	var sum int32
-	for i, c := range counts[:n*nc] {
-		b.refStart[i] = sum
-		sum += c
-	}
-	b.refStart[n*nc] = sum
-	b.refList = make([]int32, total)
-	// Second pass: assign block-state indices and fill the CSR lists,
-	// reusing counts as per-cell fill cursors.
-	next := counts
-	copy(next, b.refStart)
-	for v := 0; v < n; v++ {
-		rid, ok := iv.RelID(cp.q[v])
-		if !ok {
-			continue
-		}
-		row := v * nc
-		for _, bl := range iv.RelBlocks(rid) {
-			bs := int32(len(b.blockKey))
-			b.blockKey = append(b.blockKey, bl.Key)
-			b.pendingInit = append(b.pendingInit, int32(len(bl.Vals)))
-			for _, val := range bl.Vals {
-				cell := row + int(val)
-				b.refList[next[cell]] = bs
-				next[cell]++
-			}
-		}
-	}
+	b.finalize()
 	return b
+}
+
+// repairBinding derives iv's binding from an ancestor's: segments of
+// relations owning a touched block are rebuilt against iv, all other
+// segments are shared with the parent binding (their relations'
+// interned blocks are aliased along the lineage, so the tables are
+// bit-identical).
+func (cp *Compiled) repairBinding(parent *binding, iv *instance.Interned, touched []instance.BlockRef) *binding {
+	n := len(cp.q)
+	touchedRel := make(map[int32]bool, len(touched))
+	for _, t := range touched {
+		touchedRel[t.Rel] = true
+	}
+	b := &binding{nc: parent.nc, pos: make([]*posBinding, n), base: make([]int32, n+1)}
+	rebuilt := make(map[int32]*posBinding, len(touchedRel))
+	for v := 0; v < n; v++ {
+		rid, ok := iv.RelID(cp.q[v])
+		if !ok {
+			continue
+		}
+		if !touchedRel[rid] {
+			b.pos[v] = parent.pos[v]
+			continue
+		}
+		pb := rebuilt[rid]
+		if pb == nil {
+			pb = buildPos(iv, rid, b.nc)
+			rebuilt[rid] = pb
+		}
+		b.pos[v] = pb
+	}
+	b.finalize()
+	return b
+}
+
+// finalize computes the per-position global block-state offsets.
+func (b *binding) finalize() {
+	var sum int32
+	for v, pb := range b.pos {
+		b.base[v] = sum
+		if pb != nil {
+			sum += int32(len(pb.blockKey))
+		}
+	}
+	b.base[len(b.pos)] = sum
 }
 
 // Compile precomputes the query-side artifacts of the fixpoint
@@ -299,10 +391,16 @@ func (cp *Compiled) SolveInterned(iv *instance.Interned) *Result {
 	b := cp.bind(iv)
 	stride := n + 1
 	bits := bitset.New(nc * stride)
-	// pending[i] counts the successors of block state i not yet known
-	// to satisfy ⟨y, v+1⟩; the binding's counters are copied so the
-	// binding itself stays immutable under concurrent Solve calls.
-	pending := append([]int32(nil), b.pendingInit...)
+	// pending[i] counts the successors of block state i not yet known to
+	// satisfy ⟨y, v+1⟩, concatenating the positions' segments at their
+	// base offsets; the binding's counters are copied so the binding
+	// itself stays immutable under concurrent Solve calls.
+	pending := make([]int32, b.base[n])
+	for v, pb := range b.pos {
+		if pb != nil {
+			copy(pending[b.base[v]:], pb.pendingInit)
+		}
+	}
 	queue := make([]int32, 0, nc)
 	add := func(idx int) {
 		if !bits.Test(idx) {
@@ -328,15 +426,20 @@ func (cp *Compiled) SolveInterned(iv *instance.Interned) *Result {
 			continue
 		}
 		v := u - 1
+		pb := b.pos[v]
+		if pb == nil {
+			continue
+		}
 		c := idx / stride
-		row := v*b.nc + c
+		vbase := b.base[v]
 		// Each ref fires at most once: the pair ⟨c, v+1⟩ is dequeued
 		// exactly once and block values are distinct, so pending hits 0
 		// at most once per block state.
-		for _, bs := range b.refList[b.refStart[row]:b.refStart[row+1]] {
+		for _, ls := range pb.refList[pb.refStart[c]:pb.refStart[c+1]] {
+			bs := vbase + ls
 			pending[bs]--
 			if pending[bs] == 0 {
-				base := int(b.blockKey[bs]) * stride
+				base := int(pb.blockKey[ls]) * stride
 				add(base + v)
 				for _, w := range backSources[v] {
 					add(base + w)

@@ -2,6 +2,38 @@
 // with primary keys on the first position (Section 2 of the paper): facts,
 // key-equal facts, blocks, consistency, repairs, the active domain, and
 // the directed edge-colored graph view of an instance.
+//
+// # Snapshot lineage and the invalidation contract
+//
+// Every accessor view — and in particular the dense-id Interned view the
+// solver tiers evaluate on — is memoized in one atomic snapshot that a
+// mutation invalidates wholesale. The contract the tiers rely on:
+//
+//   - Pointer identity of an *Interned names one immutable instance
+//     state. Two loads that return the same pointer saw the same facts;
+//     a mutation can never be observed through an old pointer.
+//   - Concurrent first readers converge on ONE pointer per state (the
+//     publish CAS is first-wins), so a per-snapshot memo keyed by the
+//     pointer builds each artifact at most once per state.
+//   - Mutation IS invalidation: solver memos keyed by the snapshot
+//     pointer need no invalidation protocol — a stale snapshot simply
+//     can never be looked up again, and ages out of its memo's LRU.
+//
+// On top of identity, snapshots form a structural *lineage*: when a
+// mutation touches only blocks over the existing constant and relation
+// universe, the next Interned build is a copy-on-write delta of the
+// previous snapshot — the const/relation id tables are shared (ids are
+// stable along the lineage), only the touched relations' block lists
+// are re-interned, and the child records a Delta{Parent, Touched}
+// describing exactly which blocks differ. Memos use the lineage for
+// *repair*: on a miss for snapshot S whose ancestor's artifact is still
+// resident, a tier patches the ancestor artifact along the accumulated
+// touched set instead of cold-building (memo.LRU.GetOrRepair). A
+// mutation that changes the universe (new constant or relation, or one
+// dropped by Remove), piles up too many dirty blocks, or extends the
+// lineage past MaxLineageDepth starts a fresh root instead — repair is
+// an optimization, never a correctness requirement, and a bounded
+// lineage keeps at most MaxLineageDepth old snapshots reachable.
 package instance
 
 import (
@@ -48,13 +80,34 @@ func (b BlockID) String() string { return fmt.Sprintf("%s(%s,*)", b.Rel, b.Key) 
 type Instance struct {
 	facts  map[Fact]struct{}
 	blocks map[BlockID][]string // block -> sorted distinct vals
-	adom   map[string]struct{}
-	rels   map[string]struct{}
+	// adom and rels count fact occurrences per constant and relation
+	// name, so a removal knows in O(1) whether it shrank the universe —
+	// the delta-interning path must not pay an O(|db|) domain recompute
+	// per mutation.
+	adom map[string]int
+	rels map[string]int
 	// views caches the sorted slices handed out by Adom, Blocks, Facts
 	// and Relations; solvers call these on every evaluation, so
 	// re-sorting per call is hot-path waste. The snapshot is immutable
 	// once stored and invalidated wholesale on mutation.
 	views atomic.Pointer[viewCache]
+
+	// Delta-interning state, maintained by the mutating methods (which
+	// by contract never race with readers or each other): prev is the
+	// interned snapshot the dirty set is relative to, dirty the blocks
+	// touched since prev was current, and dirtyFull is set when the
+	// mutations changed the constant/relation universe (or overflowed
+	// the dirty bound), forcing the next Interned build to start a
+	// fresh lineage root.
+	prev      *Interned
+	dirty     map[BlockID]struct{}
+	dirtyFull bool
+	// lastDelta is the most recent delta child built (a child of some
+	// snapshot on the current lineage). undoCollapse compares candidate
+	// states against it so that flapping between two states A<->B
+	// resolves both directions to existing pointers instead of
+	// re-cloning B's snapshot on every revisit.
+	lastDelta *Interned
 }
 
 // viewCache is an immutable snapshot of the sorted accessor views; nil
@@ -114,13 +167,47 @@ func (db *Instance) publish(c viewCache) viewCache {
 // invalidate drops the memoized views after a mutation.
 func (db *Instance) invalidate() { db.views.Store(nil) }
 
+// maxDirtyBlocks bounds the dirty set a delta build will patch; past it
+// a full rebuild is cheaper than merging per-block edits.
+const maxDirtyBlocks = 64
+
+// noteMutation records that a mutation touched block bid. It is called
+// by the mutating methods before invalidate, so it can still see the
+// snapshot the mutation is diverging from; universe must be true when
+// the mutation changed the constant or relation universe (which makes
+// the interned id tables unshareable). Mutations never race with
+// readers or each other (the Instance contract), so this state needs no
+// synchronization.
+func (db *Instance) noteMutation(bid BlockID, universe bool) {
+	if c := db.views.Load(); c != nil && c.interned != nil && c.interned != db.prev {
+		// A snapshot was built since the last mutation: the dirty set
+		// restarts relative to it.
+		db.prev = c.interned
+		db.dirty = nil
+		db.dirtyFull = false
+	}
+	if universe {
+		db.dirtyFull = true
+	}
+	if db.dirtyFull {
+		return
+	}
+	if db.dirty == nil {
+		db.dirty = make(map[BlockID]struct{})
+	}
+	db.dirty[bid] = struct{}{}
+	if len(db.dirty) > maxDirtyBlocks {
+		db.dirtyFull = true
+	}
+}
+
 // New returns an empty instance.
 func New() *Instance {
 	return &Instance{
 		facts:  make(map[Fact]struct{}),
 		blocks: make(map[BlockID][]string),
-		adom:   make(map[string]struct{}),
-		rels:   make(map[string]struct{}),
+		adom:   make(map[string]int),
+		rels:   make(map[string]int),
 	}
 }
 
@@ -138,6 +225,15 @@ func (db *Instance) Add(f Fact) *Instance {
 	if _, ok := db.facts[f]; ok {
 		return db
 	}
+	// Read the occurrence counts once and write them back incremented:
+	// a zero count is the universe-growth signal, and folding the
+	// existence probes into the counter reads keeps the mutation at two
+	// hash operations per key (this is the per-mutation hot path the
+	// delta-interning tiers ride).
+	ak := db.adom[f.Key]
+	av := db.adom[f.Val]
+	ar := db.rels[f.Rel]
+	db.noteMutation(BlockID{f.Rel, f.Key}, ak == 0 || av == 0 || ar == 0)
 	db.facts[f] = struct{}{}
 	id := BlockID{f.Rel, f.Key}
 	vals := db.blocks[id]
@@ -146,9 +242,13 @@ func (db *Instance) Add(f Fact) *Instance {
 	copy(vals[pos+1:], vals[pos:])
 	vals[pos] = f.Val
 	db.blocks[id] = vals
-	db.adom[f.Key] = struct{}{}
-	db.adom[f.Val] = struct{}{}
-	db.rels[f.Rel] = struct{}{}
+	if f.Key == f.Val {
+		db.adom[f.Key] = ak + 2
+	} else {
+		db.adom[f.Key] = ak + 1
+		db.adom[f.Val] = av + 1
+	}
+	db.rels[f.Rel] = ar + 1
 	db.invalidate()
 	return db
 }
@@ -181,20 +281,27 @@ func (db *Instance) Remove(f Fact) {
 	} else {
 		db.blocks[id] = vals
 	}
-	// adom and rels are rebuilt lazily on demand only for correctness of
-	// Adom(); removal is rare (used by tests), so recompute.
-	db.recomputeDomains()
-	db.invalidate()
-}
-
-func (db *Instance) recomputeDomains() {
-	db.adom = make(map[string]struct{})
-	db.rels = make(map[string]struct{})
-	for f := range db.facts {
-		db.adom[f.Key] = struct{}{}
-		db.adom[f.Val] = struct{}{}
-		db.rels[f.Rel] = struct{}{}
+	// Dropping the last occurrence of a constant or relation shrinks the
+	// universe; the occurrence counts make that an O(1) check instead of
+	// a full domain recompute, keeping removals on the delta-interning
+	// path as cheap as insertions.
+	universe := false
+	for _, c := range [...]string{f.Key, f.Val} {
+		if n := db.adom[c] - 1; n == 0 {
+			delete(db.adom, c)
+			universe = true
+		} else {
+			db.adom[c] = n
+		}
 	}
+	if n := db.rels[f.Rel] - 1; n == 0 {
+		delete(db.rels, f.Rel)
+		universe = true
+	} else {
+		db.rels[f.Rel] = n
+	}
+	db.noteMutation(id, universe)
+	db.invalidate()
 }
 
 // Contains reports whether f is in db.
@@ -322,6 +429,79 @@ type Interned struct {
 	relID   map[string]int32
 	blocks  [][]InternedBlock // indexed by relation id
 	nfacts  int
+	delta   *Delta // nil for lineage roots
+}
+
+// BlockRef names one block in interned id space: the relation id and
+// the key constant id. Along a delta lineage ids are stable, so a ref
+// recorded against one snapshot is valid for every snapshot of the
+// lineage.
+type BlockRef struct {
+	Rel, Key int32
+}
+
+// Delta records how a snapshot structurally differs from its parent:
+// the blocks whose contents changed (added, removed, or with a
+// different value set). Touched may over-approximate (a block edited
+// back to its old contents still appears), never under-approximate.
+// Everything outside Touched — including the shared const/relation id
+// tables and the untouched relations' block slices, which the child
+// aliases rather than copies — is bit-identical between parent and
+// child. Solver memos use the chain of Deltas to repair a resident
+// ancestor artifact instead of cold-building (see memo.LRU.GetOrRepair
+// and Lineage below).
+type Delta struct {
+	Parent  *Interned
+	Touched []BlockRef
+	// Depth is the number of delta edges back to the lineage root;
+	// bounded by MaxLineageDepth, so a chain retains at most that many
+	// old snapshots.
+	Depth int
+}
+
+// MaxLineageDepth bounds how many delta edges a snapshot lineage may
+// chain before the next build starts a fresh root. Each delta snapshot
+// keeps its parent reachable (repair needs it), so the bound caps both
+// the retained memory and the worst-case accumulated Touched set a
+// repair must patch.
+const MaxLineageDepth = 256
+
+// Delta returns the lineage record of this snapshot, or nil when it is
+// a lineage root (built from scratch, with nothing to repair from).
+func (iv *Interned) Delta() *Delta { return iv.delta }
+
+// LineageDepth returns the number of delta edges between iv and its
+// lineage root (0 for a root). The difference of two depths on the same
+// chain is the hop distance a repair crosses, the quantity behind
+// memo.Stats.MaxLineageDepth.
+func (iv *Interned) LineageDepth() int {
+	if iv.delta == nil {
+		return 0
+	}
+	return iv.delta.Depth
+}
+
+// Lineage walks the delta chain from iv towards the root, looking for
+// an ancestor accepted by resident (typically: "my memo still holds an
+// artifact for this snapshot"). It returns that ancestor together with
+// the union of all Touched sets on the path (deduplicated) — exactly
+// the blocks a repair must reconcile to turn the ancestor's artifact
+// into iv's. ok is false when no acceptable ancestor exists within the
+// chain, or iv is a root.
+func Lineage(iv *Interned, resident func(*Interned) bool) (parent *Interned, touched []BlockRef, ok bool) {
+	seen := make(map[BlockRef]struct{})
+	for cur := iv; cur.delta != nil; cur = cur.delta.Parent {
+		for _, t := range cur.delta.Touched {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				touched = append(touched, t)
+			}
+		}
+		if p := cur.delta.Parent; resident(p) {
+			return p, touched, true
+		}
+	}
+	return nil, nil, false
 }
 
 // InternedBlock is one block R(key,*) in interned form: the key
@@ -338,6 +518,11 @@ type InternedBlock struct {
 func (db *Instance) Interned() *Interned {
 	if c := db.snapshot(); c.interned != nil {
 		return c.interned
+	}
+	if iv := db.internedDelta(); iv != nil {
+		c := db.snapshot()
+		c.interned = iv
+		return db.publish(c).interned
 	}
 	// Build from the memoized sorted views so interned id order is
 	// exactly their deterministic order.
@@ -370,6 +555,179 @@ func (db *Instance) Interned() *Interned {
 	// Adopt a concurrently published snapshot if one beat this build:
 	// every caller must see the same pointer for the same state.
 	return db.publish(c).interned
+}
+
+// internedDelta builds the next snapshot as a copy-on-write delta of
+// db.prev, or returns nil when the lineage must restart from a fresh
+// root: no previous snapshot, a universe change or dirty overflow
+// (dirtyFull), or a chain already at MaxLineageDepth. Like Interned it
+// only reads the mutation-side state (mutations never race readers),
+// so concurrent first readers may both build a delta child of the same
+// parent — the publish CAS converges them on one pointer as usual.
+func (db *Instance) internedDelta() *Interned {
+	prev := db.prev
+	if prev == nil || db.dirtyFull || len(db.dirty) == 0 {
+		return nil
+	}
+	if prev.delta != nil && prev.delta.Depth >= MaxLineageDepth {
+		return nil
+	}
+	// Intern the dirty blocks against the parent's id tables. Every
+	// name must already have an id — the mutators set dirtyFull on any
+	// universe change — but fall back to a root build rather than trust
+	// that invariant with a panic.
+	edits := make([]blockEdit, 0, len(db.dirty))
+	for bid := range db.dirty {
+		rid, okR := prev.relID[bid.Rel]
+		kid, okK := prev.constID[bid.Key]
+		if !okR || !okK {
+			return nil
+		}
+		vals := db.blocks[bid]
+		ivals := make([]int32, len(vals))
+		for i, v := range vals {
+			cid, ok := prev.constID[v]
+			if !ok {
+				return nil
+			}
+			ivals[i] = cid
+		}
+		edits = append(edits, blockEdit{BlockRef{rid, kid}, ivals})
+	}
+	// A mutation run that exactly restores an existing snapshot needs no
+	// new snapshot at all: if every dirty block carries prev's content
+	// the state still IS prev, and if the run exactly undid prev's delta
+	// it is prev's parent. Republishing that pointer keeps the lineage
+	// shallow and turns the A/B flapping of add-then-compensate churn
+	// into pure memo hits downstream — no repair, no per-delta clone of
+	// the touched relation's block list, no depth growth towards the
+	// MaxLineageDepth root restart.
+	if iv := db.undoCollapse(prev, edits); iv != nil {
+		return iv
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		a, b := edits[i].ref, edits[j].ref
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		return a.Key < b.Key
+	})
+
+	child := &Interned{
+		consts:  prev.consts,
+		constID: prev.constID,
+		rels:    prev.rels,
+		relID:   prev.relID,
+		blocks:  make([][]InternedBlock, len(prev.blocks)),
+		nfacts:  len(db.facts),
+	}
+	copy(child.blocks, prev.blocks)
+	touched := make([]BlockRef, len(edits))
+	cloned := make(map[int32]bool, 4)
+	for i, e := range edits {
+		touched[i] = e.ref
+		bs := child.blocks[e.ref.Rel]
+		if !cloned[e.ref.Rel] {
+			bs = append([]InternedBlock(nil), bs...)
+			cloned[e.ref.Rel] = true
+		}
+		pos := sort.Search(len(bs), func(k int) bool { return bs[k].Key >= e.ref.Key })
+		present := pos < len(bs) && bs[pos].Key == e.ref.Key
+		switch {
+		case len(e.vals) == 0: // block emptied by Remove
+			if present {
+				bs = append(bs[:pos], bs[pos+1:]...)
+			}
+		case present:
+			bs[pos] = InternedBlock{Key: e.ref.Key, Vals: e.vals}
+		default:
+			bs = append(bs, InternedBlock{})
+			copy(bs[pos+1:], bs[pos:])
+			bs[pos] = InternedBlock{Key: e.ref.Key, Vals: e.vals}
+		}
+		child.blocks[e.ref.Rel] = bs
+	}
+	depth := 1
+	if prev.delta != nil {
+		depth = prev.delta.Depth + 1
+	}
+	child.delta = &Delta{Parent: prev, Touched: touched, Depth: depth}
+	db.lastDelta = child
+	return child
+}
+
+// blockEdit is one dirty block interned against the lineage's id
+// tables: the block's ref and its full current value set (empty when
+// the block was removed).
+type blockEdit struct {
+	ref  BlockRef
+	vals []int32
+}
+
+// undoCollapse returns the existing snapshot the edits restore, or nil
+// when the current state is genuinely new. Pointer identity is state
+// identity for snapshots, so handing back a restored snapshot is not
+// just an allocation win: every tier memo still holds that pointer's
+// artifacts and hits without any repair. Three candidates cover the
+// churn patterns that actually recur: prev itself (the dirty set was a
+// no-op, e.g. add-then-remove between two builds), prev's parent (this
+// run undid prev's delta), and the last delta child built off prev
+// (this run redid a delta we just stepped back from — the B side of an
+// A<->B flap).
+func (db *Instance) undoCollapse(prev *Interned, edits []blockEdit) *Interned {
+	nfacts := len(db.facts)
+	if prev.nfacts == nfacts && editsMatch(prev, edits) {
+		return prev
+	}
+	if d := prev.delta; d != nil && d.Parent.nfacts == nfacts &&
+		touchedCovered(d.Touched, edits) && editsMatch(d.Parent, edits) {
+		return d.Parent
+	}
+	if c := db.lastDelta; c != nil && c != prev && c.delta.Parent == prev &&
+		c.nfacts == nfacts && touchedCovered(c.delta.Touched, edits) &&
+		editsMatch(c, edits) {
+		return c
+	}
+	return nil
+}
+
+// touchedCovered reports whether every ref in touched is among the
+// edits. A candidate snapshot equals the current state only if each
+// block it differs from its delta-neighbor on was re-edited this run —
+// the equality of everything else follows structurally, because blocks
+// outside the dirty set are bit-identical to prev's and blocks outside
+// Touched are bit-identical across the delta edge.
+func touchedCovered(touched []BlockRef, edits []blockEdit) bool {
+	for _, t := range touched {
+		found := false
+		for _, e := range edits {
+			if e.ref == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// editsMatch reports whether every edited block carries exactly iv's
+// content for that block, an empty edit matching an absent block.
+func editsMatch(iv *Interned, edits []blockEdit) bool {
+	for _, e := range edits {
+		got := iv.Block(e.ref.Rel, e.ref.Key)
+		if len(got) != len(e.vals) {
+			return false
+		}
+		for i, v := range got {
+			if e.vals[i] != v {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NumConsts returns the number of interned constants (|adom|).

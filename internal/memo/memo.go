@@ -29,27 +29,52 @@ type LRU[K comparable, V any] struct {
 	budget   int64 // 0 = unbounded by cost
 	cost     func(V) int64
 
-	mu    sync.Mutex
-	order *list.List // *entry[K, V], front = most recently used
-	index map[K]*list.Element
-	total int64 // summed cost of charged resident entries
-	hits  uint64
-	miss  uint64
+	mu       sync.Mutex
+	order    *list.List // *entry[K, V], front = most recently used
+	index    map[K]*list.Element
+	total    int64 // summed cost of charged resident entries
+	hits     uint64
+	miss     uint64
+	repairs  uint64
+	maxDepth uint64
 }
 
-// Stats is a snapshot of an LRU's lookup counters. A miss is a Get that
-// created a resident entry (and therefore ran — or joined — the build);
-// a hit served an already-resident entry. A key that was evicted and
-// looked up again counts as a fresh miss, so Misses is exactly the
-// number of builds started over the memo's lifetime.
+// Stats is a snapshot of an LRU's lookup counters. A miss is a lookup
+// that created a resident entry (and therefore ran — or joined — the
+// build); a hit served an already-resident entry. A key that was
+// evicted and looked up again counts as a fresh miss, so Misses is
+// exactly the number of entry builds started over the memo's lifetime.
+//
+// Repairs counts the misses that were satisfied by repairing a resident
+// ancestor's artifact along the snapshot lineage (GetOrRepair) instead
+// of running the cold builder, so Misses − Repairs is the number of
+// cold builds. MaxLineageDepth is the largest lineage distance (delta
+// hops between the missed snapshot and the repaired-from ancestor) any
+// repair has crossed.
 type Stats struct {
-	Hits, Misses uint64
+	Hits, Misses    uint64
+	Repairs         uint64
+	MaxLineageDepth uint64
 }
 
-// Add returns the field-wise sum of two stats snapshots, for callers
-// aggregating several memos (e.g. a plan's tier artifacts).
+// ColdBuilds returns the number of misses that ran the from-scratch
+// builder rather than a lineage repair.
+func (s Stats) ColdBuilds() uint64 { return s.Misses - s.Repairs }
+
+// Add returns the aggregate of two stats snapshots, for callers
+// combining several memos (e.g. a plan's tier artifacts): counters sum,
+// MaxLineageDepth takes the maximum.
 func (s Stats) Add(t Stats) Stats {
-	return Stats{Hits: s.Hits + t.Hits, Misses: s.Misses + t.Misses}
+	out := Stats{
+		Hits:            s.Hits + t.Hits,
+		Misses:          s.Misses + t.Misses,
+		Repairs:         s.Repairs + t.Repairs,
+		MaxLineageDepth: s.MaxLineageDepth,
+	}
+	if t.MaxLineageDepth > out.MaxLineageDepth {
+		out.MaxLineageDepth = t.MaxLineageDepth
+	}
+	return out
 }
 
 // entry builds its value at most once; concurrent Gets for the same key
@@ -65,6 +90,10 @@ type entry[K comparable, V any] struct {
 	cost    int64
 	charged atomic.Bool
 	evicted bool
+	// built is set after once completes, so Peek can serve finished
+	// values without blocking on (or deadlocking with) an in-flight
+	// build that is itself peeking for ancestors.
+	built atomic.Bool
 }
 
 // NewLRU returns an LRU bounded at capacity entries (minimum 1), with
@@ -99,6 +128,56 @@ func NewLRUWithBudget[K comparable, V any](capacity int, budget int64, cost func
 // while the key is resident. An evicted value remains usable by callers
 // that already hold it; a later Get for the same key rebuilds.
 func (m *LRU[K, V]) Get(key K, build func() V) V {
+	e, _ := m.acquire(key)
+	return m.run(e, build)
+}
+
+// GetOrRepair is Get with a lineage-aware miss path: on a miss it first
+// offers repair the chance to derive the value from resident entries
+// (via the peek argument — typically the tier walks the snapshot's
+// delta lineage with instance.Lineage and patches the nearest resident
+// ancestor's artifact). repair returns the derived value, the number of
+// lineage hops it crossed (feeding Stats.MaxLineageDepth), and whether
+// it succeeded; on failure — or with a nil repair — the cold builder
+// runs as in Get. Like build, repair executes outside the memo lock and
+// at most once per residency of key; values obtained through peek may
+// be concurrently evicted, which leaves them valid (evicted values stay
+// usable by holders, they just no longer occupy the memo).
+func (m *LRU[K, V]) GetOrRepair(key K, repair func(peek func(K) (V, bool)) (V, int, bool), build func() V) V {
+	e, hit := m.acquire(key)
+	if hit || repair == nil {
+		return m.run(e, build)
+	}
+	return m.run(e, func() V {
+		if v, hops, ok := repair(m.Peek); ok {
+			m.noteRepair(hops)
+			return v
+		}
+		return build()
+	})
+}
+
+// Peek returns the finished value for key if one is resident, without
+// joining an in-flight build and without counting as a hit or a miss.
+// Safe to call from inside a repair callback.
+func (m *LRU[K, V]) Peek(key K) (V, bool) {
+	var zero V
+	m.mu.Lock()
+	el, ok := m.index[key]
+	m.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	e := el.Value.(*entry[K, V])
+	if !e.built.Load() {
+		return zero, false
+	}
+	return e.val, true
+}
+
+// acquire looks up or creates the entry for key under the memo lock and
+// reports whether it was already resident.
+func (m *LRU[K, V]) acquire(key K) (*entry[K, V], bool) {
 	m.mu.Lock()
 	el, ok := m.index[key]
 	if ok {
@@ -114,11 +193,31 @@ func (m *LRU[K, V]) Get(key K, build func() V) V {
 	}
 	e := el.Value.(*entry[K, V])
 	m.mu.Unlock()
-	e.once.Do(func() { e.val = build() })
+	return e, ok
+}
+
+// run executes the entry's at-most-once build with the given producer
+// and settles cost accounting.
+func (m *LRU[K, V]) run(e *entry[K, V], produce func() V) V {
+	e.once.Do(func() {
+		e.val = produce()
+		e.built.Store(true)
+	})
 	if m.cost != nil && !e.charged.Load() {
 		m.charge(e)
 	}
 	return e.val
+}
+
+// noteRepair records a successful lineage repair of the given hop
+// distance.
+func (m *LRU[K, V]) noteRepair(hops int) {
+	m.mu.Lock()
+	m.repairs++
+	if uint64(hops) > m.maxDepth {
+		m.maxDepth = uint64(hops)
+	}
+	m.mu.Unlock()
 }
 
 // evictOldest removes the least-recently-used entry. Caller holds mu.
@@ -154,11 +253,11 @@ func (m *LRU[K, V]) charge(e *entry[K, V]) {
 	}
 }
 
-// Stats returns a snapshot of the memo's hit/miss counters.
+// Stats returns a snapshot of the memo's lookup counters.
 func (m *LRU[K, V]) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{Hits: m.hits, Misses: m.miss}
+	return Stats{Hits: m.hits, Misses: m.miss, Repairs: m.repairs, MaxLineageDepth: m.maxDepth}
 }
 
 // Contains reports whether key is resident (without touching the LRU

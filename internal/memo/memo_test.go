@@ -141,3 +141,99 @@ func TestMinimumCapacity(t *testing.T) {
 		t.Errorf("Len = %d, want 1 (capacity clamped to 1)", m.Len())
 	}
 }
+
+func TestGetOrRepairPrefersRepair(t *testing.T) {
+	m := NewLRU[int, string](4)
+	m.Get(1, func() string { return "root" })
+	var coldBuilt bool
+	got := m.GetOrRepair(2,
+		func(peek func(int) (string, bool)) (string, int, bool) {
+			parent, ok := peek(1)
+			if !ok {
+				t.Error("peek(1) should see the resident parent")
+				return "", 0, false
+			}
+			return parent + "+patch", 1, true
+		},
+		func() string { coldBuilt = true; return "cold" })
+	if got != "root+patch" || coldBuilt {
+		t.Fatalf("GetOrRepair = %q (coldBuilt=%v), want repaired value", got, coldBuilt)
+	}
+	// The repaired value is resident: a second lookup is a plain hit.
+	if got := m.Get(2, func() string { return "cold" }); got != "root+patch" {
+		t.Fatalf("warm Get = %q, want repaired value", got)
+	}
+	s := m.Stats()
+	if s.Repairs != 1 || s.MaxLineageDepth != 1 || s.ColdBuilds() != 1 {
+		t.Errorf("stats = %+v (cold=%d), want 1 repair, depth 1, 1 cold build", s, s.ColdBuilds())
+	}
+}
+
+func TestGetOrRepairFallsBackToBuild(t *testing.T) {
+	m := NewLRU[int, string](4)
+	got := m.GetOrRepair(9,
+		func(peek func(int) (string, bool)) (string, int, bool) {
+			if _, ok := peek(1); ok {
+				t.Error("peek(1) should miss on an empty memo")
+			}
+			return "", 0, false
+		},
+		func() string { return "cold" })
+	if got != "cold" {
+		t.Fatalf("GetOrRepair = %q, want cold build", got)
+	}
+	if got := m.GetOrRepair(7, nil, func() string { return "nilrepair" }); got != "nilrepair" {
+		t.Fatalf("GetOrRepair(nil repair) = %q, want cold build", got)
+	}
+	s := m.Stats()
+	if s.Repairs != 0 || s.Misses != 2 || s.MaxLineageDepth != 0 {
+		t.Errorf("stats = %+v, want 2 cold misses and no repairs", s)
+	}
+}
+
+func TestPeekDoesNotJoinInFlightBuild(t *testing.T) {
+	m := NewLRU[int, int](4)
+	started, release := make(chan struct{}), make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Get(1, func() int { close(started); <-release; return 1 })
+	}()
+	<-started
+	// The entry for 1 exists but is mid-build: Peek must report absent
+	// immediately instead of blocking.
+	if _, ok := m.Peek(1); ok {
+		t.Error("Peek saw an unfinished build")
+	}
+	close(release)
+	<-done
+	if v, ok := m.Peek(1); !ok || v != 1 {
+		t.Errorf("Peek after build = (%d, %v), want (1, true)", v, ok)
+	}
+	// Peek counts as neither hit nor miss.
+	if s := m.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 0 hits / 1 miss", s)
+	}
+}
+
+func TestStatsAddAggregates(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Repairs: 1, MaxLineageDepth: 3}
+	b := Stats{Hits: 10, Misses: 20, Repairs: 4, MaxLineageDepth: 2}
+	got := a.Add(b)
+	want := Stats{Hits: 11, Misses: 22, Repairs: 5, MaxLineageDepth: 3}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestGetOrRepairChargesCost(t *testing.T) {
+	m := NewLRUWithBudget[int, int](8, 100, func(v int) int64 { return int64(v) })
+	m.Get(1, func() int { return 30 })
+	m.GetOrRepair(2, func(peek func(int) (int, bool)) (int, int, bool) {
+		v, _ := peek(1)
+		return v + 30, 1, true
+	}, func() int { return 0 })
+	if got := m.CostTotal(); got != 90 {
+		t.Errorf("CostTotal = %d, want 90 (repaired entries are charged too)", got)
+	}
+}

@@ -233,6 +233,22 @@ type Evaluator struct {
 	// snapshot pointer (loop decompositions only; the loop-free forms
 	// delegate to whole, which carries its own memo).
 	bindings *memo.LRU[*instance.Interned, *nlBinding]
+	// relsExit/relsLoop/relsPre are the relation-name dependency sets of
+	// the three artifact stages, driving the slice-granular repair: a
+	// touched block of a relation outside a stage's set cannot reach
+	// that stage's artifacts, so a lineage repair reuses them.
+	relsExit map[string]bool
+	relsLoop map[string]bool
+	relsPre  map[string]bool
+}
+
+// relSet collects the distinct relation names of a word.
+func relSet(w words.Word) map[string]bool {
+	out := make(map[string]bool, len(w))
+	for _, r := range w {
+		out[r] = true
+	}
+	return out
 }
 
 // NewEvaluator decomposes q (ErrNotC2 / ErrNoCertifiedDecomposition on
@@ -253,11 +269,14 @@ func newEvaluator(q words.Word, d *Decomposition) *Evaluator {
 		if !d.Exit.IsEmpty() {
 			e.exit = fixpoint.Compile(d.Exit)
 		}
-		// Entry- and byte-bounded like the fixpoint binding memo; an NL
-		// binding is one word-per-64-constants bitset.
+		// Entry- and byte-bounded like the fixpoint binding memo; a
+		// binding is a handful of word-per-64-constants bitsets plus the
+		// loop-step CSR.
 		e.bindings = memo.NewLRUWithBudget[*instance.Interned, *nlBinding](
-			fixpoint.MaxBindings, fixpoint.MaxBindingBytes,
-			func(b *nlBinding) int64 { return 8 * int64(len(b.o)) })
+			fixpoint.MaxBindings, fixpoint.MaxBindingBytes, nlBindingBytes)
+		e.relsExit = relSet(d.Exit)
+		e.relsLoop = relSet(d.Loop)
+		e.relsPre = relSet(d.Pre)
 	}
 	return e
 }
@@ -326,21 +345,118 @@ func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
 func (d *Decomposition) queryWord() words.Word { return words.Concat(d.Pre, d.Exit) }
 
 // nlBinding holds the instance-bound artifacts of the Lemma 14
-// procedure for one (evaluator, interned snapshot) pair. Everything
-// here is a pure function of the immutable snapshot, so the binding is
-// itself immutable and safe to share across any number of concurrent
-// IsCertain calls; the build-time intermediates (exit avoidance,
-// loop-terminal bitset, the restricted loop-step CSR graph, its SCC
-// targets and the reverse-reachability predicate P) are folded into o.
+// procedure for one (evaluator, interned snapshot) pair, staged so a
+// lineage repair can reuse every stage a mutation does not reach.
+// Everything here is a pure function of the immutable snapshot, so the
+// binding is itself immutable and safe to share across any number of
+// concurrent IsCertain calls — a repaired binding therefore never
+// patches the parent's slices in place; stages it reuses are aliased.
 type nlBinding struct {
+	// avoid: bit d set iff some repair has no exit-trace path from d
+	// (complement of the exit word's fixpoint start bits). Depends on
+	// the exit word's relations only.
+	avoid bitset.Bits
+	// loopTerminal is the Lemma 12 terminal DP for the loop word.
+	// Depends on the loop word's relations only.
+	loopTerminal bitset.Bits
+	// adjStart/adjList is the loop-step graph restricted to
+	// exit-avoiding vertices (CSR). Depends on avoid and the loop
+	// relations.
+	adjStart []int32
+	adjList  []int32
+	// p is the predicate P of Lemma 14: reaches (via the restricted
+	// graph) a terminal-or-cycle target. Depends on the graph stage.
+	p bitset.Bits
 	// o is the predicate O of Lemma 14 over interned constant ids.
+	// Depends on p and the pre word's relations.
 	o bitset.Bits
 }
 
+// nlBindingBytes prices a binding for the memo's byte budget. Stages
+// shared with a parent binding are charged to both — a conservative
+// over-count.
+func nlBindingBytes(b *nlBinding) int64 {
+	return 8*int64(len(b.avoid)+len(b.loopTerminal)+len(b.p)+len(b.o)) +
+		4*int64(len(b.adjStart)+len(b.adjList))
+}
+
 // bind returns the memoized artifacts for iv, building them on first
-// use.
+// use. On a miss it first tries a lineage repair: if an ancestor
+// snapshot's binding is resident, only the stages whose relation
+// dependency sets meet the touched blocks are recomputed — with an
+// equality cut: a recomputed stage that comes out identical to the
+// parent's stops the downstream cascade.
 func (e *Evaluator) bind(iv *instance.Interned) *nlBinding {
-	return e.bindings.Get(iv, func() *nlBinding { return e.buildBinding(iv) })
+	return e.bindings.GetOrRepair(iv,
+		func(peek func(*instance.Interned) (*nlBinding, bool)) (*nlBinding, int, bool) {
+			var found *nlBinding
+			parent, touched, ok := instance.Lineage(iv, func(a *instance.Interned) bool {
+				b, res := peek(a)
+				if res {
+					found = b
+				}
+				return res
+			})
+			if !ok {
+				return nil, 0, false
+			}
+			hops := iv.LineageDepth() - parent.LineageDepth()
+			return e.repairBinding(found, iv, touched), hops, true
+		},
+		func() *nlBinding { return e.buildBinding(iv) })
+}
+
+// repairBinding derives iv's binding from an ancestor's along the
+// touched block set. Each stage is recomputed only when a touched
+// block's relation is in its dependency set or an upstream stage it
+// reads actually changed; untouched stages alias the parent's slices.
+func (e *Evaluator) repairBinding(parent *nlBinding, iv *instance.Interned, touched []instance.BlockRef) *nlBinding {
+	touchExit, touchLoop, touchPre := false, false, false
+	for _, t := range touched {
+		rel := iv.Rel(t.Rel)
+		touchExit = touchExit || e.relsExit[rel]
+		touchLoop = touchLoop || e.relsLoop[rel]
+		touchPre = touchPre || e.relsPre[rel]
+	}
+	if !touchExit && !touchLoop && !touchPre {
+		// The mutation reaches no slice of the artifact: the whole
+		// binding carries over.
+		return parent
+	}
+	b := &nlBinding{}
+
+	avoidChanged := false
+	if touchExit {
+		b.avoid = e.computeAvoid(iv)
+		avoidChanged = !b.avoid.Equal(parent.avoid)
+	} else {
+		b.avoid = parent.avoid
+	}
+
+	if touchLoop {
+		b.loopTerminal = fo.TerminalBitset(iv, e.d.Loop)
+	} else {
+		b.loopTerminal = parent.loopTerminal
+	}
+
+	pChanged := false
+	if avoidChanged || touchLoop {
+		// The restricted graph reads the loop relations' blocks
+		// directly (WalkEnds), so a touched loop block forces a graph
+		// rebuild even when the terminal DP came out unchanged.
+		b.adjStart, b.adjList = e.computeGraph(iv, b.avoid)
+		b.p = e.computeP(b)
+		pChanged = !b.p.Equal(parent.p)
+	} else {
+		b.adjStart, b.adjList, b.p = parent.adjStart, parent.adjList, parent.p
+	}
+
+	if touchPre || pChanged {
+		b.o = e.computeO(iv, b.p)
+	} else {
+		b.o = parent.o
+	}
+	return b
 }
 
 // computeOBits computes the predicate O as a bitset over the interned
@@ -363,20 +479,30 @@ func (e *Evaluator) computeOBits(db *instance.Instance) (bitset.Bits, *instance.
 }
 
 // buildBinding runs the instance-bound half of the Lemma 14 procedure
-// for one snapshot: the avoidance and terminal predicates, the
-// restricted loop-step graph, its cycle/terminal targets, reverse
+// for one snapshot from scratch: the avoidance and terminal predicates,
+// the restricted loop-step graph, its cycle/terminal targets, reverse
 // reachability (P), and finally O via consistent pre-paths. Everything
 // is derived from iv alone, so the memoized result can never mix two
-// snapshots.
+// snapshots. The stages are the repair granularity of repairBinding.
 func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
-	d := e.d
-	nc := iv.NumConsts()
+	b := &nlBinding{
+		avoid:        e.computeAvoid(iv),
+		loopTerminal: fo.TerminalBitset(iv, e.d.Loop),
+	}
+	b.adjStart, b.adjList = e.computeGraph(iv, b.avoid)
+	b.p = e.computeP(b)
+	b.o = e.computeO(iv, b.p)
+	return b
+}
 
-	// avoid: bit d set iff some repair has no path from d whose trace is
-	// in the certain language of the exit word. By Corollary 1 (via the
-	// ⪯q-minimal repair of Lemma 6, which minimizes start sets for all
-	// constants simultaneously), this is the complement of the fixpoint
-	// relation ⟨d, ε⟩ for the exit word. An empty exit cannot be avoided.
+// computeAvoid computes the exit-avoidance predicate: bit d set iff
+// some repair has no path from d whose trace is in the certain language
+// of the exit word. By Corollary 1 (via the ⪯q-minimal repair of
+// Lemma 6, which minimizes start sets for all constants
+// simultaneously), this is the complement of the fixpoint relation
+// ⟨d, ε⟩ for the exit word. An empty exit cannot be avoided.
+func (e *Evaluator) computeAvoid(iv *instance.Interned) bitset.Bits {
+	nc := iv.NumConsts()
 	avoid := bitset.New(nc)
 	if e.exit != nil {
 		for i, w := range e.exit.SolveInterned(iv).StartBits() {
@@ -384,21 +510,16 @@ func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
 		}
 		avoid.MaskTail(nc)
 	}
+	return avoid
+}
 
-	// Targets: terminal-for-loop vertices that avoid the exit (condition
-	// (iii)); the loop word is self-join-free, so the Lemma 12 DP is
-	// exact.
-	loopTerminal := fo.TerminalBitset(iv, d.Loop)
-	targets := bitset.New(nc)
-	for i := range targets {
-		targets[i] = avoid[i] & loopTerminal[i]
-	}
-
-	// Loop-step graph restricted to exit-avoiding vertices (condition
-	// (ii) of the definition of P), as a CSR over constant ids.
-	loopRels := iv.InternWord(d.Loop)
-	adjStart := make([]int32, nc+1)
-	var adjList []int32
+// computeGraph builds the loop-step graph restricted to exit-avoiding
+// vertices (condition (ii) of the definition of P), as a CSR over
+// constant ids.
+func (e *Evaluator) computeGraph(iv *instance.Interned, avoid bitset.Bits) (adjStart, adjList []int32) {
+	nc := iv.NumConsts()
+	loopRels := iv.InternWord(e.d.Loop)
+	adjStart = make([]int32, nc+1)
 	var buf instance.WalkBuf
 	for c := 0; c < nc; c++ {
 		adjStart[c] = int32(len(adjList))
@@ -412,22 +533,31 @@ func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
 		}
 	}
 	adjStart[nc] = int32(len(adjList))
+	return adjStart, adjList
+}
 
-	// Vertices on cycles of the restricted graph are also targets
-	// (condition (iii), dℓ ∈ {d0..dℓ-1}).
-	for _, c := range cycleVertices(adjStart, adjList) {
+// computeP derives the predicate P from the graph stage: targets are
+// the terminal-for-loop vertices that avoid the exit (condition (iii);
+// the loop word is self-join-free, so the Lemma 12 DP is exact) plus
+// the vertices on cycles of the restricted graph (dℓ ∈ {d0..dℓ-1});
+// P is reverse reachability from the targets.
+func (e *Evaluator) computeP(b *nlBinding) bitset.Bits {
+	targets := bitset.New(len(b.avoid) << 6)
+	for i := range targets {
+		targets[i] = b.avoid[i] & b.loopTerminal[i]
+	}
+	for _, c := range cycleVertices(b.adjStart, b.adjList) {
 		targets.Set(int(c))
 	}
+	return reverseReach(b.adjStart, b.adjList, targets)
+}
 
-	// P(d): d avoids the exit and reaches a target in the restricted
-	// graph (including d itself being a target): reverse reachability
-	// from the targets.
-	p := reverseReach(adjStart, adjList, targets)
-
-	// O(c) = c terminal for pre, or some consistent pre-path from c ends
-	// in a vertex satisfying P.
-	preRels := iv.InternWord(d.Pre)
-	o := fo.TerminalBitset(iv, d.Pre)
+// computeO derives the predicate O: O(c) = c terminal for pre, or some
+// consistent pre-path from c ends in a vertex satisfying P.
+func (e *Evaluator) computeO(iv *instance.Interned, p bitset.Bits) bitset.Bits {
+	nc := iv.NumConsts()
+	preRels := iv.InternWord(e.d.Pre)
+	o := fo.TerminalBitset(iv, e.d.Pre)
 	for c := 0; c < nc; c++ {
 		if o.Test(c) {
 			continue
@@ -436,7 +566,7 @@ func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
 			o.Set(c)
 		}
 	}
-	return &nlBinding{o: o}
+	return o
 }
 
 // cycleVertices returns the vertices lying on a directed cycle of the

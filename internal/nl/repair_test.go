@@ -1,0 +1,93 @@
+package nl
+
+import (
+	"testing"
+
+	"cqa/internal/instance"
+	"cqa/internal/words"
+)
+
+// nlChurnInstance covers relations both inside and outside the RRX
+// decomposition's dependency sets, over a fixed universe.
+func nlChurnInstance() *instance.Instance {
+	db := instance.New()
+	consts := []string{"a", "b", "c", "d", "e", "f"}
+	for _, rel := range []string{"R", "X", "Y"} {
+		for i, k := range consts {
+			db.AddFact(rel, k, consts[(i+2)%len(consts)])
+			if i%2 == 0 {
+				db.AddFact(rel, k, consts[(i+4)%len(consts)])
+			}
+		}
+	}
+	return db
+}
+
+func TestNLRepairMatchesColdBuild(t *testing.T) {
+	q := words.MustParse("RRX")
+	ev, err := NewEvaluator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := nlChurnInstance()
+	ev.IsCertain(db) // cold build for the root snapshot
+
+	consts := []string{"a", "b", "c", "d", "e", "f"}
+	rels := []string{"R", "X", "Y"}
+	for step := 0; step < 60; step++ {
+		rel := rels[step%len(rels)]
+		k := consts[step%len(consts)]
+		v := consts[(step*5+3)%len(consts)]
+		f := instance.Fact{Rel: rel, Key: k, Val: v}
+		if db.Contains(f) && len(db.Block(rel, k)) > 1 {
+			db.Remove(f)
+		} else {
+			db.Add(f)
+		}
+		got := ev.IsCertain(db)
+		cold, err := NewEvaluator(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cold.IsCertain(db.Clone())
+		if got != want {
+			t.Fatalf("step %d (%v): repaired = %v, cold = %v", step, f, got, want)
+		}
+	}
+	if s := ev.BindingStats(); s.Repairs == 0 {
+		t.Errorf("stats = %+v, want repairs > 0", s)
+	}
+}
+
+func TestNLRepairSharesUntouchedBinding(t *testing.T) {
+	q := words.MustParse("RRX")
+	ev, err := NewEvaluator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := nlChurnInstance()
+	iv1 := db.Interned()
+	b1 := ev.bind(iv1)
+
+	// Relation Y is outside pre, loop, and exit of RRX's decomposition:
+	// the mutation reaches no slice, so the binding carries over whole.
+	db.AddFact("Y", "a", "f")
+	iv2 := db.Interned()
+	if iv2.Delta() == nil {
+		t.Fatalf("in-universe mutation should delta-intern")
+	}
+	b2 := ev.bind(iv2)
+	if b2 != b1 {
+		t.Errorf("binding must be shared when no dependency relation is touched")
+	}
+
+	// A mutation in X (exit only) reuses the loop-terminal stage.
+	db.AddFact("X", "b", "e")
+	b3 := ev.bind(db.Interned())
+	if b3 == b2 {
+		t.Errorf("exit-relation mutation must produce a new binding")
+	}
+	if &b3.loopTerminal[0] != &b2.loopTerminal[0] {
+		t.Errorf("loop-terminal stage must be aliased when loop relations are untouched")
+	}
+}

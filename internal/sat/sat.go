@@ -22,6 +22,7 @@ package sat
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Status is the result of solving.
@@ -60,6 +61,17 @@ const (
 
 type clause struct {
 	lits []int
+	// act is the clause activity driving learned-clause deletion; learnt
+	// marks clauses in the learned database, removed marks clauses
+	// dropped by reduceDB/PurgeLearnts whose watch entries are filtered
+	// lazily. dormant marks problem clauses attached without watches —
+	// root-level units, and clauses satisfied or asserting at the root
+	// when attachNew saw them — which a root-trail retraction must
+	// re-check (propagation alone cannot revive an unwatched clause).
+	act     float64
+	learnt  bool
+	removed bool
+	dormant bool
 }
 
 // Solver is an incremental CDCL SAT solver instance. Create with
@@ -85,6 +97,13 @@ type Solver struct {
 	varInc   float64
 	phase    []int8
 
+	// claInc / learntLimit drive activity-based learned-clause deletion:
+	// when the learned database reaches learntLimit, reduceDB drops the
+	// lower-activity half (keeping locked and binary clauses) and the
+	// limit grows geometrically.
+	claInc      float64
+	learntLimit int
+
 	// order is the VSIDS branching heap: variables by activity,
 	// max-first, with lazy deletion (assigned variables are skipped at
 	// pop time and re-inserted on backtrack).
@@ -98,6 +117,14 @@ type Solver struct {
 	attached  int
 	rootUnsat bool // the formula is unsatisfiable without assumptions
 
+	// needReassert is set by root-trail surgery (PurgeLearnts,
+	// RetractDepending): dormant clauses carry no watches, so
+	// propagation alone cannot revive one whose satisfying assignment
+	// was retracted. When set, the next attachNew re-checks every
+	// dormant clause in the attached prefix. Solvers that never retract
+	// (the cold path) never pay for the re-check.
+	needReassert bool
+
 	propagations uint64
 	conflicts    uint64
 	decisions    uint64
@@ -105,6 +132,11 @@ type Solver struct {
 	// MaxConflicts bounds the search (cumulatively across calls);
 	// 0 means unbounded.
 	MaxConflicts uint64
+
+	// MaxLearnts, when positive, fixes the learned-database size that
+	// triggers reduceDB; 0 picks an automatic limit from the problem
+	// size.
+	MaxLearnts int
 }
 
 // NewSolver returns a solver for variables 1..nVars.
@@ -120,6 +152,7 @@ func NewSolver(nVars int) *Solver {
 		order:    make([]int32, 0, nVars),
 		orderPos: make([]int32, nVars+1),
 		varInc:   1,
+		claInc:   1,
 	}
 	// All activities start equal, so insertion order is a valid heap.
 	for v := 1; v <= nVars; v++ {
@@ -145,6 +178,218 @@ func (s *Solver) NumLearned() int { return len(s.learnts) }
 // all Solve calls.
 func (s *Solver) Stats() (uint64, uint64, uint64) {
 	return s.decisions, s.propagations, s.conflicts
+}
+
+// ExtendVars grows the variable range to 1..n (a no-op when n does not
+// exceed the current range). New variables start unassigned, with zero
+// activity and default phase, and join the branching order. Incremental
+// encoders use it to splice fresh selector and Tseitin variables into a
+// live solver when a snapshot delta adds facts.
+func (s *Solver) ExtendVars(n int) {
+	if n <= s.nVars {
+		return
+	}
+	w := make([][]*clause, 2*(n+1))
+	copy(w, s.watches)
+	s.watches = w
+	grow := n - s.nVars
+	s.assign = append(s.assign, make([]int8, grow)...)
+	s.level = append(s.level, make([]int, grow)...)
+	s.reason = append(s.reason, make([]*clause, grow)...)
+	s.activity = append(s.activity, make([]float64, grow)...)
+	s.phase = append(s.phase, make([]int8, grow)...)
+	s.orderPos = append(s.orderPos, make([]int32, grow)...)
+	for v := s.nVars + 1; v <= n; v++ {
+		s.orderInsert(int32(v))
+	}
+	s.nVars = n
+}
+
+// WeakenClause appends lit to problem clause i (in addition order).
+// Appending never disturbs the two watched literals, so it is safe on an
+// attached clause mid-stream; a unit clause growing to length two joins
+// the watch lists here. The caller must guarantee lit is in range and
+// not already present; this is the incremental encoder's way to turn a
+// clause into its weaker replacement in place (e.g. extending a block's
+// at-least-one constraint with a newly added fact's selector) without
+// rebuilding the solver.
+//
+// Soundness is the caller's burden: any root-level assignment that was
+// derived *through* the strong version of the clause remains on the
+// trail and may not hold of the weaker formula. Call
+// RetractDepending with every clause about to be weakened (after
+// PurgeLearnts, whose learned clauses embed the same strong
+// consequences) before the first WeakenClause of a patch.
+func (s *Solver) WeakenClause(i, lit int) {
+	// A dormant clause (root unit, or satisfied at attach time) stays
+	// dormant: appending a literal cannot unsatisfy it, and if the
+	// assignment satisfying it is ever retracted, the scheduled re-check
+	// installs watches for the grown clause.
+	c := s.clauses[i]
+	c.lits = append(c.lits, lit)
+}
+
+// ClauseLen returns the current length of problem clause i.
+func (s *Solver) ClauseLen(i int) int { return len(s.clauses[i].lits) }
+
+// RootFixed reports whether variable v is assigned at the root level
+// (decision level 0). Root assignments persist across SolveAssuming
+// calls, so an incremental encoder that weakens clauses must refuse to
+// patch around a variable the solver has already fixed forever.
+func (s *Solver) RootFixed(v int) bool {
+	return v >= 1 && v <= s.nVars && s.assign[v] != unassigned && s.level[v] == 0
+}
+
+// RootUnsat reports whether the solver has derived unsatisfiability of
+// the clause database itself (no assumptions). The flag is sticky;
+// weakening clauses cannot clear it, so patching a root-unsat solver is
+// unsound and callers must rebuild instead.
+func (s *Solver) RootUnsat() bool { return s.rootUnsat }
+
+// PurgeLearnts drops the entire learned-clause database and retracts
+// every root-level assignment that was derived through it, keeping saved
+// phases and variable activities. Incremental encoders call it before
+// weakening clauses: learned clauses (and root units asserted by them)
+// are consequences of the strong formula and may not hold of the weaker
+// one, while assignments propagated purely from surviving problem
+// clauses are re-derived from the re-propagation this schedules.
+func (s *Solver) PurgeLearnts() {
+	s.cancelUntil(0)
+	// Root assignments are trail-ordered, so everything from the first
+	// learnt-reasoned entry onward may transitively depend on the
+	// learned database: retract the suffix and re-propagate from
+	// scratch on the next solve.
+	cut := -1
+	for i, l := range s.trail {
+		if r := s.reason[abs(l)]; r != nil && r.learnt {
+			cut = i
+			break
+		}
+	}
+	s.retractFrom(cut)
+	if len(s.learnts) == 0 {
+		return
+	}
+	for _, c := range s.learnts {
+		c.removed = true
+	}
+	s.learnts = s.learnts[:0]
+	s.filterWatches()
+}
+
+// retractFrom unassigns every trail entry from index cut onward (a
+// no-op when cut < 0), keeping saved phases, and schedules a full
+// re-propagation plus unit-clause re-assertion at the next solve. The
+// trail is derivation-ordered, so retracting a suffix leaves a prefix
+// derived only from entries that survive. Must run at decision level 0.
+func (s *Solver) retractFrom(cut int) {
+	if cut < 0 {
+		return
+	}
+	for i := len(s.trail) - 1; i >= cut; i-- {
+		v := abs(s.trail[i])
+		s.phase[v] = s.assign[v]
+		s.assign[v] = unassigned
+		s.reason[v] = nil
+		if s.orderPos[v] < 0 {
+			s.orderInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:cut]
+	s.qhead = 0
+	// A retracted entry may have been asserted by a length-1 clause,
+	// which no propagation can re-derive (units carry no watches).
+	s.needReassert = true
+}
+
+// RetractDepending retracts every root-level assignment that may
+// transitively depend on one of the given problem clauses (by addition
+// index) or on any learned clause. Because the trail is
+// derivation-ordered, cutting at the first entry whose reason is one of
+// those clauses removes every assignment derived after — and hence
+// possibly through — it; the surviving prefix was propagated from
+// untouched problem clauses alone. Callers about to weaken clauses use
+// this (after PurgeLearnts) to make in-place weakening sound without
+// per-variable feasibility checks: no assignment that could depend on a
+// strong clause outlives it. The next solve re-propagates from scratch
+// and re-derives whatever still follows from the weakened formula.
+func (s *Solver) RetractDepending(clauseIdx []int) {
+	s.cancelUntil(0)
+	if len(clauseIdx) == 0 {
+		return
+	}
+	mark := make(map[*clause]bool, len(clauseIdx))
+	for _, i := range clauseIdx {
+		mark[s.clauses[i]] = true
+	}
+	cut := -1
+	for i, l := range s.trail {
+		if r := s.reason[abs(l)]; r != nil && (r.learnt || mark[r]) {
+			cut = i
+			break
+		}
+	}
+	s.retractFrom(cut)
+}
+
+// filterWatches compacts every watch list, dropping clauses marked
+// removed.
+func (s *Solver) filterWatches() {
+	for i, ws := range s.watches {
+		n := 0
+		for _, c := range ws {
+			if !c.removed {
+				ws[n] = c
+				n++
+			}
+		}
+		s.watches[i] = ws[:n]
+	}
+}
+
+// locked reports whether c is the reason for a current assignment (its
+// asserting literal is kept at lits[0] by construction); locked clauses
+// must survive learned-clause deletion.
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.value(l) == trueVal && s.reason[abs(l)] == c
+}
+
+// bumpClause raises a learned clause's activity, rescaling the whole
+// database when activities overflow.
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// reduceDB halves the learned-clause database, dropping the clauses of
+// lowest activity while keeping binary clauses (cheap and valuable) and
+// locked clauses (reasons for current assignments). This bounds the
+// watch lists a long-lived incremental solver drags through every
+// propagation without throwing the whole database away.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool { return s.learnts[i].act < s.learnts[j].act })
+	half := len(s.learnts) / 2
+	n := 0
+	removed := false
+	for i, c := range s.learnts {
+		if i < half && len(c.lits) > 2 && !s.locked(c) {
+			c.removed = true
+			removed = true
+			continue
+		}
+		s.learnts[n] = c
+		n++
+	}
+	s.learnts = s.learnts[:n]
+	if removed {
+		s.filterWatches()
+	}
 }
 
 func litIndex(l int) int {
@@ -207,15 +452,73 @@ func (s *Solver) watch(c *clause, lit int) {
 	s.watches[i] = append(s.watches[i], c)
 }
 
+// attachOne installs watches for clause c under the current root-level
+// assignment, or reports it dormant: satisfied by a root-true literal,
+// or asserted as a root unit (including length-1 clauses), and
+// therefore carrying no watches until a retraction re-checks it. ok is
+// false on a root-level conflict. Must run at decision level 0.
+func (s *Solver) attachOne(c *clause) (dormant, ok bool) {
+	// Move up to two non-false literals to the front; a clause with a
+	// root-level true literal is satisfied for as long as that
+	// assignment stands and needs no watches until then.
+	satisfied := false
+	nf := 0
+	for i, l := range c.lits {
+		switch s.value(l) {
+		case trueVal:
+			satisfied = true
+		case unassigned:
+			if nf < 2 {
+				c.lits[nf], c.lits[i] = c.lits[i], c.lits[nf]
+				nf++
+			}
+		}
+		if satisfied {
+			break
+		}
+	}
+	if satisfied {
+		return true, true
+	}
+	switch nf {
+	case 0: // every literal root-false (or the clause is empty)
+		return false, false
+	case 1:
+		return true, s.enqueue(c.lits[0], c)
+	}
+	s.watch(c, c.lits[0])
+	s.watch(c, c.lits[1])
+	return false, true
+}
+
 // attachNew installs watches (or root-level units) for clauses added
-// since the last solve, under the current root-level assignment. It
-// reports false on a root-level conflict. Must run at decision level 0.
+// since the last solve, under the current root-level assignment. After
+// root-trail surgery (needReassert) it first re-checks every dormant
+// clause in the attached prefix, re-asserting units and re-attaching
+// clauses whose satisfying assignment was retracted — without this, an
+// unwatched clause would silently drop out of propagation once its
+// root assignment is gone. It reports false on a root-level conflict.
+// Must run at decision level 0.
 func (s *Solver) attachNew() bool {
+	if s.needReassert {
+		s.needReassert = false
+		for _, c := range s.clauses[:s.attached] {
+			if !c.dormant {
+				continue
+			}
+			dormant, ok := s.attachOne(c)
+			if !ok {
+				s.rootUnsat = true
+				return false
+			}
+			c.dormant = dormant
+		}
+	}
+	// The per-clause logic below mirrors attachOne; it stays inline
+	// because this loop attaches every clause of a cold build and Go
+	// will not inline a function with loops.
 	for ; s.attached < len(s.clauses); s.attached++ {
 		c := s.clauses[s.attached]
-		// Move up to two non-false literals to the front; a clause with
-		// a root-level true literal is satisfied forever and needs no
-		// watches at all.
 		satisfied := false
 		nf := 0
 		for i, l := range c.lits {
@@ -233,6 +536,7 @@ func (s *Solver) attachNew() bool {
 			}
 		}
 		if satisfied {
+			c.dormant = true
 			continue
 		}
 		switch nf {
@@ -240,6 +544,7 @@ func (s *Solver) attachNew() bool {
 			s.rootUnsat = true
 			return false
 		case 1:
+			c.dormant = true
 			if !s.enqueue(c.lits[0], c) {
 				s.rootUnsat = true
 				return false
@@ -419,6 +724,9 @@ func (s *Solver) analyze(confl *clause) ([]int, int) {
 	c := confl
 
 	for {
+		if c.learnt {
+			s.bumpClause(c)
+		}
 		for _, l := range c.lits {
 			if l == p { // skip the asserting path literal
 				continue
@@ -548,6 +856,13 @@ func (s *Solver) SolveAssuming(assumptions ...int) Status {
 		s.rootUnsat = true
 		return Unsat
 	}
+	s.learntLimit = s.MaxLearnts
+	if s.learntLimit <= 0 {
+		s.learntLimit = len(s.clauses) / 2
+		if s.learntLimit < 1024 {
+			s.learntLimit = 1024
+		}
+	}
 
 	restart := uint64(1)
 	budget := 100 * luby(restart)
@@ -567,7 +882,7 @@ func (s *Solver) SolveAssuming(assumptions ...int) Status {
 			}
 			learnt, back := s.analyze(confl)
 			s.cancelUntil(back)
-			c := &clause{lits: learnt}
+			c := &clause{lits: learnt, learnt: true, act: s.claInc}
 			s.learnts = append(s.learnts, c)
 			if len(learnt) >= 2 {
 				s.watch(c, learnt[0])
@@ -575,6 +890,11 @@ func (s *Solver) SolveAssuming(assumptions ...int) Status {
 			}
 			s.enqueue(learnt[0], c)
 			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if len(s.learnts) >= s.learntLimit {
+				s.reduceDB()
+				s.learntLimit += s.learntLimit / 10
+			}
 			continue
 		}
 		if confSinceRestart >= budget {
