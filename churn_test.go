@@ -125,7 +125,7 @@ func TestChurnSoak(t *testing.T) {
 	// The point of the soak is the repair path: with mutations mostly
 	// inside a fixed universe, at least some warm decisions must have
 	// been answered by lineage repair rather than cold builds.
-	if m := eng.CacheStats().Memo; m.Repairs == 0 {
+	if m := eng.Stats().Memo; m.Repairs == 0 {
 		t.Errorf("memo stats = %+v, want lineage repairs under churn", m)
 	}
 }

@@ -11,6 +11,8 @@
 //	cqa plan -q <query>
 //	cqa batch [-file reqs.txt] [-workers N] [-format lines|ndjson|csv]
 //	          [-max-line BYTES] [-shard-size N] [-compile-workers N] [-stats]
+//	cqa serve [-addr HOST:PORT] [-workers N] [-shard-size N] [-compile-workers N]
+//	          [-router-workers N] [-queue-depth N] [-window N]
 //	cqa rewrite -q <query>
 //	cqa language -q <query> [-max N]
 //	cqa nfa -q <query>
@@ -54,6 +56,8 @@ func main() {
 		err = cmdPlan(os.Args[2:])
 	case "batch":
 		err = cmdBatch(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "rewrite":
 		err = cmdRewrite(os.Args[2:])
 	case "language":
@@ -88,6 +92,10 @@ func usage() {
                                    streams one-line-JSON results; csv reads
                                    id,query,rel,key,val fact rows grouped
                                    by request id
+  cqa serve [-addr A] [-workers N] [-shard-size N] [-compile-workers N]
+            [-router-workers N] [-queue-depth N] [-window N]
+                                   resident HTTP/NDJSON daemon over named
+                                   instances (see docs/serving.md)
   cqa rewrite -q Q                 consistent FO rewriting (FO class only)
   cqa language -q Q [-max N]       rewinding closure L↬(q) up to length N
   cqa nfa -q Q                     NFA(q) in Graphviz DOT
@@ -212,12 +220,10 @@ func cmdPlan(args []string) error {
 func cmdBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	file := fs.String("file", "", "request file (default: stdin)")
-	workers := fs.Int("workers", 0, "worker-pool size (default: GOMAXPROCS)")
+	newEngine := engineFlags(fs)
 	format := fs.String("format", "lines", `request format: "lines", "ndjson" or "csv"`)
 	maxLine := fs.Int("max-line", defaultMaxLine, "maximum request line length in bytes")
-	shardSize := fs.Int("shard-size", 0, "requests per batch shard (default: engine default; <0 disables sharding)")
-	compileWorkers := fs.Int("compile-workers", 0, "concurrent plan compilations in the batch pre-pass (default: workers)")
-	showStats := fs.Bool("stats", false, "print per-instance memo statistics (hits, lineage repairs, cold builds) after the summary")
+	showStats := fs.Bool("stats", false, "print the engine's full Stats snapshot (plan cache, memo hits/repairs/cold builds) after the summary")
 	fs.Parse(args)
 	if *maxLine <= 0 {
 		return fmt.Errorf("-max-line must be positive, got %d", *maxLine)
@@ -232,11 +238,7 @@ func cmdBatch(args []string) error {
 		defer f.Close()
 		r = f
 	}
-	eng := cqa.NewEngine(cqa.EngineConfig{
-		Workers:        *workers,
-		CompileWorkers: *compileWorkers,
-		BatchShardSize: *shardSize,
-	})
+	eng := newEngine()
 	lr := newLineReader(r, *maxLine)
 
 	run := batchLines
@@ -250,13 +252,40 @@ func cmdBatch(args []string) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want lines, ndjson or csv)", *format)
 	}
-	if err := run(eng, lr, os.Stdout); err != nil {
+	total, err := run(eng, lr, os.Stdout)
+	if err != nil {
 		return err
 	}
+	fmt.Fprintf(summaryTo, "# %d requests\n", total)
 	if *showStats {
-		fmt.Fprintln(summaryTo, batchMemoLine(eng.CacheStats()))
+		fmt.Fprintln(summaryTo, statsComment(eng.Stats()))
 	}
 	return nil
+}
+
+// engineFlags registers the engine-tuning flags on fs and returns the
+// constructor that realizes them. Every subcommand that evaluates
+// queries (batch, serve) builds its Engine through this one function,
+// so the flag wiring cannot silently diverge between subcommands or
+// input formats.
+func engineFlags(fs *flag.FlagSet) func() *cqa.Engine {
+	workers := fs.Int("workers", 0, "worker-pool size (default: GOMAXPROCS)")
+	shardSize := fs.Int("shard-size", 0, "requests per batch shard (default: engine default; <0 disables sharding)")
+	compileWorkers := fs.Int("compile-workers", 0, "concurrent plan compilations in the batch pre-pass (default: workers)")
+	return func() *cqa.Engine {
+		return cqa.NewEngine(cqa.EngineConfig{
+			Workers:        *workers,
+			CompileWorkers: *compileWorkers,
+			BatchShardSize: *shardSize,
+		})
+	}
+}
+
+// statsComment renders the engine's unified Stats snapshot as
+// "# "-prefixed comment lines, one per subtree — the same tree the
+// serve daemon's /metrics endpoint serializes.
+func statsComment(s cqa.Stats) string {
+	return "# " + strings.ReplaceAll(s.String(), "\n", "\n# ")
 }
 
 // defaultMaxLine is the -max-line default: generous enough for large
@@ -319,28 +348,11 @@ func (lr *lineReader) errLineTooLong() error {
 	return fmt.Errorf("line %d: request line longer than %d bytes (raise -max-line)", lr.line, lr.max)
 }
 
-// batchSummary renders the trailing stats line. Compiles — not the
-// plan-cache residency Entries, which an eviction shrinks — is the
-// number of plans compiled.
-func batchSummary(total int, stats cqa.CacheStats) string {
-	return fmt.Sprintf("# %d requests in %d shards, %d plans compiled (cache: %d entries, %d hits / %d misses)",
-		total, stats.Shards, stats.Compiles, stats.Entries, stats.Hits, stats.Misses)
-}
-
-// batchMemoLine renders the -stats line: the per-instance tier caches
-// aggregated across resident compiled plans. Repairs count misses that
-// were answered by patching a resident ancestor snapshot's state along
-// the mutation lineage instead of rebuilding cold.
-func batchMemoLine(stats cqa.CacheStats) string {
-	m := stats.Memo
-	return fmt.Sprintf("# memo: %d hits, %d repairs, %d cold builds, max lineage depth %d",
-		m.Hits, m.Repairs, m.ColdBuilds(), m.MaxLineageDepth)
-}
-
 // batchLines evaluates and prints in batchChunk-sized chunks, so
 // "-format lines" streams in constant memory like the NDJSON path
-// instead of buffering the whole request file.
-func batchLines(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
+// instead of buffering the whole request file. It returns the number of
+// requests answered; cmdBatch prints the summary.
+func batchLines(eng *cqa.Engine, lr *lineReader, w io.Writer) (int, error) {
 	out := bufio.NewWriter(w)
 	defer out.Flush()
 	total := 0
@@ -364,10 +376,10 @@ func batchLines(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 			break
 		}
 		if err != nil {
-			return err
+			return total, err
 		}
 		if tooLong {
-			return lr.errLineTooLong()
+			return total, lr.errLineTooLong()
 		}
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -375,30 +387,29 @@ func batchLines(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 		}
 		qpart, fpart, ok := strings.Cut(line, ";")
 		if !ok {
-			return fmt.Errorf("line %d: want \"QUERY ; FACTS\", got %q", lr.line, line)
+			return total, fmt.Errorf("line %d: want \"QUERY ; FACTS\", got %q", lr.line, line)
 		}
 		q, err := cqa.ParseQuery(strings.TrimSpace(qpart))
 		if err != nil {
-			return fmt.Errorf("line %d: %w", lr.line, err)
+			return total, fmt.Errorf("line %d: %w", lr.line, err)
 		}
 		db, err := instance.ParseFacts(strings.TrimSpace(fpart))
 		if err != nil {
-			return fmt.Errorf("line %d: %w", lr.line, err)
+			return total, fmt.Errorf("line %d: %w", lr.line, err)
 		}
 		total++
 		reqs = append(reqs, cqa.Request{Query: q, DB: db})
 		nums = append(nums, total)
 		if len(reqs) >= batchChunk {
 			if err := flush(); err != nil {
-				return err
+				return total, err
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return err
+		return total, err
 	}
-	fmt.Fprintln(out, batchSummary(total, eng.CacheStats()))
-	return nil
+	return total, nil
 }
 
 // batchRequest is one NDJSON request line.
@@ -423,7 +434,7 @@ type batchResponse struct {
 // stream out as chunks complete.
 const batchChunk = 256
 
-func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
+func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) (int, error) {
 	out := bufio.NewWriter(w)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
@@ -470,7 +481,7 @@ func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 			break
 		}
 		if err != nil {
-			return err
+			return total, err
 		}
 		if tooLong {
 			total++
@@ -478,7 +489,7 @@ func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 				Index: total, Error: lr.errLineTooLong().Error()}})
 			if len(slots) >= batchChunk {
 				if err := flush(); err != nil {
-					return err
+					return total, err
 				}
 			}
 			continue
@@ -505,15 +516,14 @@ func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 		}
 		if len(slots) >= batchChunk {
 			if err := flush(); err != nil {
-				return err
+				return total, err
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return err
+		return total, err
 	}
-	fmt.Fprintln(os.Stderr, batchSummary(total, eng.CacheStats()))
-	return nil
+	return total, nil
 }
 
 // batchCSV reads "id,query,rel,key,val" rows — one fact per row, rows
@@ -528,7 +538,7 @@ func batchNDJSON(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 // after its run ended (interleaved requests; detected within a bounded
 // window of recent ids, so memory stays constant) yields an error row
 // for that request; the rest of the stream is unaffected.
-func batchCSV(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
+func batchCSV(eng *cqa.Engine, lr *lineReader, w io.Writer) (int, error) {
 	out := bufio.NewWriter(w)
 	defer out.Flush()
 	cw := csv.NewWriter(out)
@@ -628,10 +638,10 @@ func batchCSV(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 			break
 		}
 		if err != nil {
-			return err
+			return total, err
 		}
 		if tooLong {
-			return lr.errLineTooLong()
+			return total, lr.errLineTooLong()
 		}
 		text := strings.TrimSpace(raw)
 		if text == "" || strings.HasPrefix(text, "#") {
@@ -646,15 +656,15 @@ func batchCSV(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 		cr.TrimLeadingSpace = true
 		rec, recErr := cr.Read()
 		if len(rec) == 0 {
-			return fmt.Errorf("line %d: %v", lr.line, recErr)
+			return total, fmt.Errorf("line %d: %v", lr.line, recErr)
 		}
 		id := strings.TrimSpace(rec[0])
 		if id == "" {
-			return fmt.Errorf("line %d: missing request id in %q", lr.line, text)
+			return total, fmt.Errorf("line %d: missing request id in %q", lr.line, text)
 		}
 		if cur == nil || cur.id != id {
 			if err := finalize(); err != nil {
-				return err
+				return total, err
 			}
 			cur = &group{id: id}
 			cur.fw = csv.NewWriter(&cur.facts)
@@ -682,17 +692,16 @@ func batchCSV(eng *cqa.Engine, lr *lineReader, w io.Writer) error {
 			continue
 		}
 		if err := cur.fw.Write(rec[2:]); err != nil {
-			return err
+			return total, err
 		}
 	}
 	if err := finalize(); err != nil {
-		return err
+		return total, err
 	}
 	if err := flush(); err != nil {
-		return err
+		return total, err
 	}
-	fmt.Fprintln(os.Stderr, batchSummary(total, eng.CacheStats()))
-	return nil
+	return total, nil
 }
 
 func cmdRewrite(args []string) error {

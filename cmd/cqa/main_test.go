@@ -79,47 +79,56 @@ func TestBatchLinesStreamsInChunks(t *testing.T) {
 		in.WriteString("RRX ; R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)\n")
 	}
 	var out strings.Builder
-	if err := batchLines(testEngine(), newLineReader(strings.NewReader(in.String()), defaultMaxLine), &out); err != nil {
+	eng := testEngine()
+	total, err := batchLines(eng, newLineReader(strings.NewReader(in.String()), defaultMaxLine), &out)
+	if err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
-	if len(lines) != n+1 {
-		t.Fatalf("want %d result lines + summary, got %d", n, len(lines))
+	if total != n {
+		t.Fatalf("want %d requests counted, got %d", n, total)
 	}
-	for i, line := range lines[:n] {
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("want %d result lines, got %d", n, len(lines))
+	}
+	for i, line := range lines {
 		want := fmt.Sprintf("%-4d %-12v certain=true  class=NL-complete method=nl-loop", i+1, "RRX")
 		if line != want {
 			t.Fatalf("line %d:\n got %q\nwant %q", i+1, line, want)
 		}
 	}
-	// The trailing stats line reports plans compiled (1 distinct word),
-	// not cache residency.
-	if !strings.Contains(lines[n], fmt.Sprintf("# %d requests", n)) ||
-		!strings.Contains(lines[n], "1 plans compiled") {
-		t.Fatalf("summary: %q", lines[n])
+	// Stats report plans compiled (1 distinct word), not cache residency.
+	if s := eng.Stats(); s.Plans.Compiles != 1 {
+		t.Fatalf("want 1 plan compiled, stats %+v", s)
 	}
 }
 
 func TestBatchStatsLineReportsMemoCounters(t *testing.T) {
 	eng := testEngine()
 	in := "RRX ; R(0,1) R(1,2) R(1,3) R(2,3) X(3,4)\n"
-	if err := batchLines(eng, newLineReader(strings.NewReader(in), defaultMaxLine), io.Discard); err != nil {
+	if _, err := batchLines(eng, newLineReader(strings.NewReader(in), defaultMaxLine), io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	line := batchMemoLine(eng.CacheStats())
-	if !strings.HasPrefix(line, "# memo: ") || !strings.Contains(line, "cold builds") {
-		t.Fatalf("memo line: %q", line)
+	comment := statsComment(eng.Stats())
+	for _, line := range strings.Split(comment, "\n") {
+		if !strings.HasPrefix(line, "# ") {
+			t.Fatalf("stats comment line lacks prefix: %q", line)
+		}
+	}
+	if !strings.Contains(comment, "# plans: ") || !strings.Contains(comment, "# memo: ") ||
+		!strings.Contains(comment, "cold builds") {
+		t.Fatalf("stats comment: %q", comment)
 	}
 	// The NL tier memoizes per snapshot, so a decided NL request must
 	// register at least one miss (the cold build) in the aggregate.
-	if st := eng.CacheStats().Memo; st.Hits+st.Misses == 0 {
+	if st := eng.Stats().Memo; st.Hits+st.Misses == 0 {
 		t.Fatalf("memo stats empty after a decided batch: %+v", st)
 	}
 }
 
 func TestBatchLinesErrorsCarryLineNumbers(t *testing.T) {
 	in := "RRX ; R(0,1)\n\n# comment\nBOGUS-LINE\n"
-	err := batchLines(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), io.Discard)
+	_, err := batchLines(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "line 4:") {
 		t.Fatalf("want line 4 error, got %v", err)
 	}
@@ -127,7 +136,7 @@ func TestBatchLinesErrorsCarryLineNumbers(t *testing.T) {
 
 func TestBatchLinesMaxLine(t *testing.T) {
 	in := "RRX ; R(0,1)\nRRX ; " + strings.Repeat("R(0,1) ", 50) + "\n"
-	err := batchLines(testEngine(), newLineReader(strings.NewReader(in), 64), io.Discard)
+	_, err := batchLines(testEngine(), newLineReader(strings.NewReader(in), 64), io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "-max-line") {
 		t.Fatalf("want line-2 over-length error, got %v", err)
 	}
@@ -155,7 +164,7 @@ func TestBatchNDJSONErrorPathsCarryLineNumbers(t *testing.T) {
 		`{"query": "RRX", "facts": ["bogus"]}`,
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := batchNDJSON(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), &out); err != nil {
+	if _, err := batchNDJSON(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), &out); err != nil {
 		t.Fatal(err)
 	}
 	resps := ndjsonResponses(t, out.String())
@@ -182,7 +191,7 @@ func TestBatchNDJSONOversizedLineGetsPerLineError(t *testing.T) {
 	long := `{"query": "RRX", "facts": ["` + strings.Repeat("R(0,1)", 100) + `"]}`
 	in := good + "\n" + long + "\n" + good + "\n"
 	var out strings.Builder
-	if err := batchNDJSON(testEngine(), newLineReader(strings.NewReader(in), 128), &out); err != nil {
+	if _, err := batchNDJSON(testEngine(), newLineReader(strings.NewReader(in), 128), &out); err != nil {
 		t.Fatal(err)
 	}
 	resps := ndjsonResponses(t, out.String())
@@ -227,7 +236,7 @@ func TestBatchCSVRoundTripsInstanceCSV(t *testing.T) {
 		}
 	}
 	var out strings.Builder
-	if err := batchCSV(testEngine(), newLineReader(strings.NewReader(in.String()), defaultMaxLine), &out); err != nil {
+	if _, err := batchCSV(testEngine(), newLineReader(strings.NewReader(in.String()), defaultMaxLine), &out); err != nil {
 		t.Fatal(err)
 	}
 	rows := csvRows(t, out.String())
@@ -258,7 +267,7 @@ func TestBatchCSVMalformedAndInterleaved(t *testing.T) {
 		"r5,RR,R,a,b",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := batchCSV(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), &out); err != nil {
+	if _, err := batchCSV(testEngine(), newLineReader(strings.NewReader(in), defaultMaxLine), &out); err != nil {
 		t.Fatal(err)
 	}
 	rows := csvRows(t, out.String())

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cqa"
+	"cqa/internal/server"
+)
+
+// drainTimeout bounds how long shutdown waits for in-flight
+// connections before forcing the listener closed.
+const drainTimeout = 30 * time.Second
+
+// cmdServe runs the resident serving daemon: an HTTP/NDJSON front end
+// over a registry of named instances, with the persistent shard router
+// keeping every instance's operations on one resident worker (see
+// docs/serving.md). The engine is built through the same engineFlags
+// constructor as `cqa batch`, so tuning flags behave identically in
+// both deployment shapes. On SIGINT/SIGTERM the daemon stops
+// accepting, drains in-flight work, prints the final stats snapshot to
+// stderr, and exits.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8417", "listen address")
+	newEngine := engineFlags(fs)
+	routerWorkers := fs.Int("router-workers", 0, "resident router workers (default: GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, fmt.Sprintf("per-worker task queue bound (default %d)", server.DefaultQueueDepth))
+	window := fs.Int("window", 0, fmt.Sprintf("per-connection in-flight batch window (default %d)", server.DefaultWindow))
+	maxLine := fs.Int("max-line", 0, fmt.Sprintf("maximum request line length in bytes (default %d)", server.DefaultMaxLine))
+	fs.Parse(args)
+
+	eng := newEngine()
+	srv := server.New(server.Config{
+		Registry:      cqa.NewRegistry(eng),
+		RouterWorkers: *routerWorkers,
+		QueueDepth:    *queueDepth,
+		Window:        *window,
+		MaxLine:       *maxLine,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cqa serve: listening on http://%s\n", ln.Addr())
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "cqa serve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Drain()
+		fmt.Fprintln(os.Stderr, statsComment(eng.Stats()))
+	}()
+
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained
+	return nil
+}

@@ -358,11 +358,11 @@ func e11() bool {
 			agree++
 		}
 	}
-	stats := eng.CacheStats()
+	stats := eng.Stats()
 	fmt.Printf("  dispatched tier vs exhaustive ground truth: %d/%d agree (paper: all)\n", agree, total)
 	fmt.Printf("  engine: %d requests served by %d compiled plans (%d cache hits)\n",
-		len(reqs), stats.Entries, stats.Hits)
-	return agree == total && stats.Entries == len(queries)
+		len(reqs), stats.Plans.Entries, stats.Plans.Hits)
+	return agree == total && stats.Plans.Entries == len(queries)
 }
 
 func e12() bool {
@@ -649,14 +649,14 @@ func e17() bool {
 	}
 
 	const rounds = 5
-	run := func(shardSize int) ([]cqa.Result, float64, cqa.CacheStats) {
+	run := func(shardSize int) ([]cqa.Result, float64, cqa.Stats) {
 		var last []cqa.Result
-		var stats cqa.CacheStats
+		var stats cqa.Stats
 		start := time.Now()
 		for r := 0; r < rounds; r++ {
 			eng := cqa.NewEngine(cqa.EngineConfig{BatchShardSize: shardSize})
 			last = eng.CertainBatch(context.Background(), reqs)
-			stats = eng.CacheStats()
+			stats = eng.Stats()
 		}
 		perReq := float64(time.Since(start).Nanoseconds()) / float64(rounds*len(reqs))
 		return last, perReq, stats
@@ -677,7 +677,7 @@ func e17() bool {
 	fmt.Printf("  %d requests (%d words, %d instances): sharded %.0f ns/req, per-request %.0f ns/req (%.1fx)\n",
 		len(reqs), 2+8, nInstances, shardedNs, unshardedNs, unshardedNs/shardedNs)
 	fmt.Printf("  scheduler: %d shards, %d plans compiled per batch; decisions identical: %v\n",
-		stats.Shards, stats.Compiles, agree)
+		stats.Plans.Shards, stats.Plans.Compiles, agree)
 	return agree && shardedNs < unshardedNs
 }
 

@@ -33,6 +33,7 @@
 package cqa
 
 import (
+	"context"
 	"fmt"
 
 	"cqa/internal/classify"
@@ -78,6 +79,9 @@ func NewInstance() *Instance { return instance.New() }
 // "R(0,1) R(1,2) X(2,3)".
 func ParseFacts(s string) (*Instance, error) { return instance.ParseFacts(s) }
 
+// ParseFact parses one fact token such as "R(0,1)".
+func ParseFact(s string) (Fact, error) { return instance.ParseFact(s) }
+
 // Classify returns the complexity class of CERTAINTY(q) (Theorem 3).
 func Classify(q Query) Class { return classify.Classify(q.Word()) }
 
@@ -118,6 +122,18 @@ func Certain(q Query, db *Instance) Result {
 // the default Engine's cached plan for q.
 func CertainOpt(q Query, db *Instance, opts Options) (Result, error) {
 	return defaultEngine.CertainOpt(q, db, opts)
+}
+
+// CertainCtx is Certain bounded by a context; see Engine.CertainCtx
+// for the cancellation contract.
+func CertainCtx(ctx context.Context, q Query, db *Instance) (Result, error) {
+	return defaultEngine.CertainCtx(ctx, q, db)
+}
+
+// CertainOptCtx is CertainOpt bounded by a context; see
+// Engine.CertainCtx for the cancellation contract.
+func CertainOptCtx(ctx context.Context, q Query, db *Instance, opts Options) (Result, error) {
+	return defaultEngine.CertainOptCtx(ctx, q, db, opts)
 }
 
 // Rewrite returns the consistent first-order rewriting of Lemma 13 as a

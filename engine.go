@@ -16,7 +16,7 @@
 //	eng := cqa.NewEngine(cqa.EngineConfig{PlanCacheSize: 128, Workers: 8})
 //	p := eng.Compile(q)             // classification + tier artifacts, once
 //	res = p.Certain(db)             // per-instance work only
-//	fmt.Println(eng.CacheStats())   // {Hits:... Misses:... Entries:...}
+//	fmt.Println(eng.Stats())        // unified counter snapshot (stats.go)
 //
 // For serving-style workloads — many (query, instance) pairs in flight
 // at once — CertainBatch evaluates requests on a worker pool, sharing
@@ -72,6 +72,25 @@
 // construction — serving workloads that re-query the same instance pay
 // the build once and then do only per-call decision work (for the NL
 // tier, a scan of the memoized Lemma 14 predicate).
+//
+// # Contexts and serving
+//
+// Every evaluation entry point has a context-aware twin — CertainCtx,
+// CertainOptCtx, Plan.ExecuteCtx — that checks cancellation before
+// dispatch and polls it inside the long-running tiers (the batch
+// dispatcher between requests, the SAT search loop between conflicts).
+// The context-free forms are thin wrappers over context.Background().
+//
+// For resident deployments, a Registry holds named, long-lived
+// instances behind per-instance read-write locks: queries evaluate
+// under the read lock, Registry.Mutate publishes one new interned
+// snapshot per batch under the write lock, and the tier memos repair
+// that snapshot from its parent on the next decision instead of
+// rebuilding. The `cqa serve` daemon (internal/server) exposes a
+// Registry over HTTP/NDJSON with a persistent shard router that pins
+// every instance's operations to one resident worker goroutine, so
+// streams stay memo-warm across requests and connections; see
+// docs/serving.md for the wire protocol and lifecycle.
 package cqa
 
 import (
@@ -81,7 +100,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"cqa/internal/memo"
 	"cqa/internal/plan"
 )
 
@@ -227,6 +245,24 @@ func (e *Engine) CertainOpt(q Query, db *Instance, opts Options) (Result, error)
 	return e.Compile(q).Execute(db, opts)
 }
 
+// CertainCtx is Certain bounded by a context. Cancellation is polled
+// inside the coNP tier's CDCL search loop — the only place a single
+// decision can run long — so canceling ctx releases a caller stuck in
+// a hard SAT instance; the other tiers finish their (micro-second)
+// decision and return it. On cancellation the error is ctx.Err() and
+// the Result carries no decision. Compiled plans and memoized solver
+// state survive a cancellation: a retry resumes warm, with everything
+// the interrupted solve learned.
+func (e *Engine) CertainCtx(ctx context.Context, q Query, db *Instance) (Result, error) {
+	return e.Compile(q).ExecuteCtx(ctx, db, Options{})
+}
+
+// CertainOptCtx is CertainOpt bounded by a context; see CertainCtx for
+// the cancellation contract.
+func (e *Engine) CertainOptCtx(ctx context.Context, q Query, db *Instance, opts Options) (Result, error) {
+	return e.Compile(q).ExecuteCtx(ctx, db, opts)
+}
+
 // Request is one (query, instance) pair of a batch.
 type Request struct {
 	Query   Query
@@ -312,7 +348,7 @@ func (e *Engine) certainBatchSharded(ctx context.Context, reqs []Request, out []
 						out[i].Err = err
 						continue
 					}
-					res, err := sh.plan.Execute(reqs[i].DB, reqs[i].Options)
+					res, err := sh.plan.ExecuteCtx(ctx, reqs[i].DB, reqs[i].Options)
 					res.Err = err
 					out[i] = res
 				}
@@ -422,7 +458,7 @@ func (e *Engine) certainBatchUnsharded(ctx context.Context, reqs []Request, out 
 					out[i].Err = err
 					continue
 				}
-				res, err := e.CertainOpt(reqs[i].Query, reqs[i].DB, reqs[i].Options)
+				res, err := e.CertainOptCtx(ctx, reqs[i].Query, reqs[i].DB, reqs[i].Options)
 				res.Err = err
 				out[i] = res
 			}
@@ -445,54 +481,6 @@ feed:
 			out[i].Err = err
 		}
 	}
-}
-
-// CacheStats is a snapshot of the engine's plan-cache and batch
-// scheduling counters.
-type CacheStats struct {
-	// Hits and Misses count Compile lookups since the engine was
-	// created. The sharded CertainBatch looks each distinct word up
-	// once per batch, not once per request.
-	Hits, Misses uint64
-	// Entries is the number of plans currently cached; an LRU cache
-	// may hold fewer plans than were ever compiled.
-	Entries int
-	// Compiles counts plan compilations that finished executing. Every
-	// miss leads to exactly one compilation (an evicted word looked up
-	// again is a fresh miss and a fresh compilation), so at rest
-	// Compiles == Misses; it is the number to report as "plans
-	// compiled", which Entries — the current residency — is not.
-	Compiles uint64
-	// Shards counts the shards the sharded CertainBatch scheduler has
-	// dispatched to evaluation workers.
-	Shards uint64
-	// Memo aggregates the per-snapshot artifact memos behind every plan
-	// still cached: Hits are decisions served warm from a resident
-	// snapshot, Misses are instance-bound builds, of which Repairs were
-	// lineage repairs patched from a resident ancestor instead of built
-	// cold (Memo.ColdBuilds() gives the remainder), and MaxLineageDepth
-	// is the deepest snapshot delta chain any repair crossed. Plans
-	// evicted from the cache no longer contribute.
-	Memo memo.Stats
-}
-
-// CacheStats returns a snapshot of the plan-cache counters.
-func (e *Engine) CacheStats() CacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := CacheStats{
-		Hits:     e.hits,
-		Misses:   e.miss,
-		Entries:  e.order.Len(),
-		Compiles: e.compiles.Load(),
-		Shards:   e.shards.Load(),
-	}
-	for el := e.order.Front(); el != nil; el = el.Next() {
-		if entry := el.Value.(*cacheEntry); entry.done.Load() {
-			s.Memo = s.Memo.Add(entry.plan.MemoStats())
-		}
-	}
-	return s
 }
 
 // defaultEngine backs the package-level Certain/CertainOpt/CertainBatch

@@ -1,0 +1,42 @@
+package cqa
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCertainCtxCancellation checks that an already-canceled context is
+// rejected before evaluation on both the engine methods and the
+// package-level facade, and that the same calls succeed and agree with
+// the context-free API under a live context.
+func TestCertainCtxCancellation(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	db := churnInstance(9)
+	q := MustParseQuery("ARRX")
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.CertainCtx(canceled, q, db); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CertainCtx: got %v, want context.Canceled", err)
+	}
+	if _, err := eng.CertainOptCtx(canceled, q, db, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CertainOptCtx: got %v, want context.Canceled", err)
+	}
+	if _, err := CertainCtx(canceled, q, db); !errors.Is(err, context.Canceled) {
+		t.Fatalf("facade CertainCtx: got %v, want context.Canceled", err)
+	}
+	if _, err := CertainOptCtx(canceled, q, db, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("facade CertainOptCtx: got %v, want context.Canceled", err)
+	}
+
+	// The engine is untouched by the rejections: a live context decides
+	// normally and agrees with the context-free entry point.
+	res, err := eng.CertainCtx(context.Background(), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := eng.Certain(q, db); res.Certain != want.Certain {
+		t.Fatalf("ctx=%v context-free=%v", res.Certain, want.Certain)
+	}
+}

@@ -20,23 +20,23 @@ func TestEngineCacheHitMiss(t *testing.T) {
 	q := MustParseQuery("RRX")
 
 	eng.Certain(q, db)
-	if s := eng.CacheStats(); s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
+	if s := eng.Stats().Plans; s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
 		t.Fatalf("after first call: %+v", s)
 	}
 	for i := 0; i < 5; i++ {
 		eng.Certain(q, db)
 	}
-	if s := eng.CacheStats(); s.Misses != 1 || s.Hits != 5 || s.Entries != 1 {
+	if s := eng.Stats().Plans; s.Misses != 1 || s.Hits != 5 || s.Entries != 1 {
 		t.Fatalf("after repeats: %+v", s)
 	}
 	// A different spelling of the same word hits the same plan.
 	eng.Certain(MustParseQuery("R R X"), db)
-	if s := eng.CacheStats(); s.Misses != 1 || s.Hits != 6 {
+	if s := eng.Stats().Plans; s.Misses != 1 || s.Hits != 6 {
 		t.Fatalf("after respelled query: %+v", s)
 	}
 	// A new word misses.
 	eng.Certain(MustParseQuery("RXRX"), db)
-	if s := eng.CacheStats(); s.Misses != 2 || s.Entries != 2 {
+	if s := eng.Stats().Plans; s.Misses != 2 || s.Entries != 2 {
 		t.Fatalf("after new query: %+v", s)
 	}
 }
@@ -60,17 +60,17 @@ func TestEngineLRUEviction(t *testing.T) {
 	for _, qs := range []string{"RRX", "RXRX", "RXRYRY"} {
 		eng.Certain(MustParseQuery(qs), db)
 	}
-	if s := eng.CacheStats(); s.Entries != 2 || s.Misses != 3 {
+	if s := eng.Stats().Plans; s.Entries != 2 || s.Misses != 3 {
 		t.Fatalf("after filling: %+v", s)
 	}
 	// RRX was least recently used and must have been evicted.
 	eng.Certain(MustParseQuery("RRX"), db)
-	if s := eng.CacheStats(); s.Misses != 4 {
+	if s := eng.Stats().Plans; s.Misses != 4 {
 		t.Fatalf("evicted query must recompile: %+v", s)
 	}
 	// RXRYRY stayed (it was most recent before the RRX recompile).
 	eng.Certain(MustParseQuery("RXRYRY"), db)
-	if s := eng.CacheStats(); s.Hits != 1 {
+	if s := eng.Stats().Plans; s.Hits != 1 {
 		t.Fatalf("recent query must hit: %+v", s)
 	}
 }
@@ -135,7 +135,7 @@ func TestCertainBatchMatchesSequential(t *testing.T) {
 			t.Errorf("request %d (q=%v): batch=%+v sequential=%+v", i, reqs[i].Query, res, want)
 		}
 	}
-	if s := eng.CacheStats(); s.Entries != len(queries) {
+	if s := eng.Stats().Plans; s.Entries != len(queries) {
 		t.Errorf("expected %d distinct plans, cache has %+v", len(queries), s)
 	}
 }
@@ -268,7 +268,7 @@ func TestCertainBatchShardedMatchesUnsharded(t *testing.T) {
 	}
 
 	words := distinctWords(reqs)
-	s := sharded.CacheStats()
+	s := sharded.Stats().Plans
 	if s.Compiles != uint64(words) || s.Misses != uint64(words) {
 		t.Errorf("per-word compile count must be exactly 1: %+v for %d distinct words", s, words)
 	}
@@ -341,18 +341,18 @@ func TestEngineConcurrentCompile(t *testing.T) {
 		}(int64(g))
 	}
 	wg.Wait()
-	if s := eng.CacheStats(); s.Entries > 3 {
+	if s := eng.Stats().Plans; s.Entries > 3 {
 		t.Errorf("cache exceeded capacity: %+v", s)
 	}
 }
 
 func TestDefaultEngineBacksFacade(t *testing.T) {
 	q := MustParseQuery(fmt.Sprintf("R%s", "XRYRY")) // avoid test-order-dependent cache state
-	before := DefaultEngine().CacheStats()
+	before := DefaultEngine().Stats().Plans
 	db := NewInstance()
 	Certain(q, db)
 	Certain(q, db)
-	after := DefaultEngine().CacheStats()
+	after := DefaultEngine().Stats().Plans
 	if after.Hits+after.Misses < before.Hits+before.Misses+2 {
 		t.Errorf("facade calls must go through the default engine: before=%+v after=%+v", before, after)
 	}

@@ -53,6 +53,7 @@
 package conp
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -194,14 +195,34 @@ func (c *Compiled) IsCertain(db *instance.Instance) *Result {
 	return c.IsCertainInterned(db.Interned())
 }
 
+// IsCertainCtx is IsCertain bounded by a context: the underlying SAT
+// search polls ctx and the call returns ctx.Err() (with a nil Result)
+// if it is canceled mid-solve. The memoized encoding and its solver
+// survive a cancellation; a retry resumes from everything learned so
+// far.
+func (c *Compiled) IsCertainCtx(ctx context.Context, db *instance.Instance) (*Result, error) {
+	return c.IsCertainInternedCtx(ctx, db.Interned())
+}
+
 // IsCertainInterned is IsCertain on an interned snapshot directly. On a
 // memo miss it first tries a lineage repair: if an ancestor snapshot's
 // encoding is still resident, its solver — phases, activities, and when
 // sound its learned clauses — is patched in place to the new snapshot
 // instead of encoding and searching from scratch.
 func (c *Compiled) IsCertainInterned(iv *instance.Interned) *Result {
+	res, err := c.IsCertainInternedCtx(context.Background(), iv)
+	if err != nil {
+		// A background context never cancels.
+		panic("conp: internal: " + err.Error())
+	}
+	return res
+}
+
+// IsCertainInternedCtx is IsCertainInterned bounded by a context; see
+// IsCertainCtx for the cancellation contract.
+func (c *Compiled) IsCertainInternedCtx(ctx context.Context, iv *instance.Interned) (*Result, error) {
 	if c.k == 0 {
-		return &Result{Certain: true}
+		return &Result{Certain: true}, nil
 	}
 	e := c.encs.GetOrRepair(iv,
 		func(peek func(*instance.Interned) (*encoding, bool)) (*encoding, int, bool) {
@@ -228,7 +249,7 @@ func (c *Compiled) IsCertainInterned(iv *instance.Interned) *Result {
 	defer e.mu.Unlock()
 	e.ensureSolver(c)
 	res := &Result{Vars: e.nVars, Clauses: e.solver.NumClauses()}
-	status := e.solver.SolveAssuming(e.roots...)
+	status := e.solver.SolveAssumingCtx(ctx, e.roots...)
 	d, p, cf := e.solver.Stats()
 	res.Decisions, res.Propagations, res.Conflicts = d-e.prevDec, p-e.prevProp, cf-e.prevConf
 	e.prevDec, e.prevProp, e.prevConf = d, p, cf
@@ -238,10 +259,12 @@ func (c *Compiled) IsCertainInterned(iv *instance.Interned) *Result {
 		res.sel = e.decodeSel()
 	case sat.Unsat:
 		res.Certain = true
+	case sat.Canceled:
+		return nil, ctx.Err()
 	default:
 		panic("conp: solver returned UNKNOWN without a conflict budget")
 	}
-	return res
+	return res, nil
 }
 
 // IsCertain decides CERTAINTY(q) on db via SAT. It works for every path

@@ -49,6 +49,21 @@ func ReadCSV(r io.Reader) (*Instance, error) {
 	}
 }
 
+// ParseFact parses one fact token of the form R(a,b).
+func ParseFact(tok string) (Fact, error) {
+	open := strings.IndexByte(tok, '(')
+	if open <= 0 || !strings.HasSuffix(tok, ")") {
+		return Fact{}, fmt.Errorf("instance: bad fact %q", tok)
+	}
+	rel := tok[:open]
+	inner := tok[open+1 : len(tok)-1]
+	parts := strings.Split(inner, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return Fact{}, fmt.Errorf("instance: bad fact %q", tok)
+	}
+	return Fact{Rel: rel, Key: parts[0], Val: parts[1]}, nil
+}
+
 // ParseFacts parses a compact fact-list syntax used pervasively in tests
 // and examples: facts separated by whitespace or semicolons, each of the
 // form R(a,b). Example: "R(0,1) R(1,2) R(1,3) X(3,4)".
@@ -61,17 +76,11 @@ func ParseFacts(s string) (*Instance, error) {
 		if tok == "" {
 			continue
 		}
-		open := strings.IndexByte(tok, '(')
-		if open <= 0 || !strings.HasSuffix(tok, ")") {
-			return nil, fmt.Errorf("instance: bad fact %q", tok)
+		f, err := ParseFact(tok)
+		if err != nil {
+			return nil, err
 		}
-		rel := tok[:open]
-		inner := tok[open+1 : len(tok)-1]
-		parts := strings.Split(inner, ",")
-		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-			return nil, fmt.Errorf("instance: bad fact %q", tok)
-		}
-		db.AddFact(rel, parts[0], parts[1])
+		db.Add(f)
 	}
 	return db, nil
 }

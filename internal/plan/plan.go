@@ -25,6 +25,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -265,9 +266,28 @@ func (p *Plan) Certain(db *instance.Instance) Result {
 }
 
 // Execute decides CERTAINTY(q) on db with explicit options, reusing the
-// compiled artifacts.
+// compiled artifacts. It is ExecuteCtx with a background context.
 func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
+	return p.ExecuteCtx(context.Background(), db, opts)
+}
+
+// ExecuteCtx is Execute bounded by a context: the context is checked
+// before dispatch, and the SAT tier — the only one whose per-decision
+// work is worst-case exponential — polls it inside the CDCL search
+// loop, so canceling the context releases a caller stuck in a hard
+// coNP decision. The interned-tier decisions (FO, NL, fixpoint) run in
+// micro-seconds and are not interrupted mid-solve. On cancellation the
+// context's error is returned and the result carries no decision; the
+// compiled artifacts and memoized solver state survive, so a retry
+// resumes warm.
+func (p *Plan) ExecuteCtx(ctx context.Context, db *instance.Instance, opts Options) (Result, error) {
 	res := Result{Class: p.report.Class}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	method := opts.Force
 	if method == "" {
@@ -310,7 +330,10 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 			res.Counterexample = fixpoint.CounterexampleRepair(db, p.word, fp)
 		}
 	case MethodSAT:
-		out := p.conp().IsCertain(db)
+		out, err := p.conp().IsCertainCtx(ctx, db)
+		if err != nil {
+			return res, err
+		}
 		res.Method = MethodSAT
 		res.Certain = out.Certain
 		if opts.WantCounterexample {
@@ -329,7 +352,11 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 	}
 
 	if opts.WantCounterexample && !res.Certain && res.Counterexample == nil {
-		res.Counterexample = p.conp().IsCertain(db).Counterexample()
+		out, err := p.conp().IsCertainCtx(ctx, db)
+		if err != nil {
+			return res, err
+		}
+		res.Counterexample = out.Counterexample()
 	}
 	return res, nil
 }

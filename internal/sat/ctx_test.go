@@ -1,0 +1,58 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveCtxPreCanceled(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.SolveAssumingCtx(ctx); got != Canceled {
+		t.Fatalf("pre-canceled solve = %v, want CANCELED", got)
+	}
+	// The solver survives a cancellation and decides normally after.
+	if got := s.SolveAssumingCtx(context.Background()); got != Sat {
+		t.Fatalf("solve after cancellation = %v, want SAT", got)
+	}
+}
+
+// TestSolveCtxCancelMidSearch cancels a search that would otherwise run
+// for an astronomically long time (PHP(13,12) without symmetry
+// breaking): the in-loop context poll must surface the cancellation.
+func TestSolveCtxCancelMidSearch(t *testing.T) {
+	s := php(13, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	got := s.SolveAssumingCtx(ctx)
+	if got != Canceled {
+		t.Fatalf("canceled solve = %v, want CANCELED", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v: context poll not reached", elapsed)
+	}
+}
+
+// TestSolveCtxRootUnsatBeatsCancellation: a solver already proven
+// unsatisfiable at the root answers UNSAT even under a canceled
+// context — the decision is free and callers prefer it.
+func TestSolveCtxRootUnsatBeatsCancellation(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(1)
+	s.AddClause(-1)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("setup: %v", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.SolveAssumingCtx(ctx); got != Unsat {
+		t.Fatalf("root-unsat solve under canceled ctx = %v, want UNSAT", got)
+	}
+}

@@ -20,6 +20,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,6 +37,11 @@ const (
 	Unsat
 	// Unknown means the solver hit its conflict budget.
 	Unknown
+	// Canceled means SolveAssumingCtx observed its context's
+	// cancellation before the search concluded. The solver remains
+	// usable: the next solve call resets the trail to the root level as
+	// always, and everything learned before the cancellation is kept.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -44,6 +50,8 @@ func (s Status) String() string {
 		return "SAT"
 	case Unsat:
 		return "UNSAT"
+	case Canceled:
+		return "CANCELED"
 	default:
 		return "UNKNOWN"
 	}
@@ -840,8 +848,26 @@ func (s *Solver) Solve() Status { return s.SolveAssuming() }
 // nonzero and in range (the method panics otherwise: unlike clauses,
 // assumptions come from the encoder, not from user input).
 func (s *Solver) SolveAssuming(assumptions ...int) Status {
+	return s.SolveAssumingCtx(context.Background(), assumptions...)
+}
+
+// ctxCheckEvery is how many search-loop iterations (decisions or
+// conflicts) SolveAssumingCtx lets pass between context polls: frequent
+// enough that a canceled caller is released within microseconds, sparse
+// enough that the poll never shows up next to unit propagation.
+const ctxCheckEvery = 512
+
+// SolveAssumingCtx is SolveAssuming bounded by a context: the search
+// loop polls ctx every few hundred iterations and returns Canceled once
+// the context is done. Cancellation is safe at any point — the solver
+// keeps its clause database, learned clauses, and saved phases, and the
+// next solve call resets the trail to the root level as always.
+func (s *Solver) SolveAssumingCtx(ctx context.Context, assumptions ...int) Status {
 	if s.rootUnsat {
 		return Unsat
+	}
+	if ctx.Err() != nil {
+		return Canceled
 	}
 	for _, a := range assumptions {
 		if a == 0 || a > s.nVars || a < -s.nVars {
@@ -868,7 +894,18 @@ func (s *Solver) SolveAssuming(assumptions ...int) Status {
 	budget := 100 * luby(restart)
 	confSinceRestart := uint64(0)
 
+	// Every loop iteration is one decision or one conflict, so polling
+	// the context on an iteration counter bounds the time to observe a
+	// cancellation by a few hundred propagate/analyze rounds.
+	sinceCtxCheck := 0
+
 	for {
+		if sinceCtxCheck++; sinceCtxCheck >= ctxCheckEvery {
+			sinceCtxCheck = 0
+			if ctx.Err() != nil {
+				return Canceled
+			}
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++

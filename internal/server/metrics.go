@@ -1,0 +1,34 @@
+package server
+
+import (
+	"net/http"
+
+	"cqa"
+)
+
+// Metrics is the /metrics payload: the engine's unified cqa.Stats tree
+// extended with the serving layer's own sections — per-instance info
+// from the registry and the persistent router's assignment table and
+// queue depths. Everything a client needs to verify the residency
+// contract is here: memo cold builds and repairs (engine.memo), per
+// instance lineage depth and operation counts (instances), and the
+// sticky instance→worker assignment (router.assignments), which must
+// not change between two scrapes for serving to be memo-warm.
+type Metrics struct {
+	Engine    cqa.Stats          `json:"engine"`
+	Instances []cqa.InstanceInfo `json:"instances"`
+	Router    RouterStats        `json:"router"`
+}
+
+// Metrics snapshots the full stats tree.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Engine:    s.reg.Engine().Stats(),
+		Instances: s.reg.Infos(),
+		Router:    s.router.Stats(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Metrics())
+}

@@ -1,0 +1,207 @@
+// Package server is the resident serving daemon behind `cqa serve`: a
+// long-lived HTTP/NDJSON front end over a cqa.Registry of named
+// instances, with a persistent shard router that pins every instance to
+// one resident worker for the lifetime of the process.
+//
+// The router is the piece that makes residency pay. The engine's
+// CertainBatch already shards one batch snapshot-affinely, but a batch
+// is a single call: at every chunk boundary of a streamed workload the
+// affinity resets, and two concurrent connections touching the same
+// instance race each other into the per-snapshot tier memos. The
+// router's instance→worker assignment is created on first touch
+// (least-assigned worker wins) and then never moves, so every
+// operation on a named instance — query, batch chunk, mutation —
+// executes on the same goroutine end-to-end: decisions against one
+// snapshot run consecutively (warm memo hits), a mutation is followed
+// on the same worker by the lineage repair of its own memo entry, and
+// the per-worker queues give the daemon bounded backpressure instead
+// of unbounded goroutine fan-out.
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrDraining is returned by Router.Do once Drain has begun.
+var ErrDraining = errors.New("server: router draining")
+
+// DefaultQueueDepth bounds each worker's task queue when Config leaves
+// it zero: deep enough to absorb a burst of chunked batch submissions,
+// shallow enough that a stalled worker pushes back on its producers
+// instead of buffering unbounded work.
+const DefaultQueueDepth = 64
+
+// Router is the persistent shard router: a fixed pool of resident
+// workers plus a sticky instance→worker assignment. Safe for
+// concurrent use.
+type Router struct {
+	workers []*worker
+
+	mu     sync.Mutex
+	assign map[string]int
+
+	// drainMu orders enqueues against Drain: Do holds the read side
+	// across its draining check and channel send, Drain takes the write
+	// side to flip draining before closing the queues, so a send on a
+	// closed channel is impossible. Blocked enqueues cannot deadlock
+	// Drain — the workers keep consuming until the channels close, so
+	// every blocked send completes and releases the read lock.
+	drainMu  sync.RWMutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// worker is one resident evaluation goroutine and its bounded queue.
+type worker struct {
+	tasks    chan func()
+	assigned atomic.Int64  // instances routed here (for least-assigned placement)
+	executed atomic.Uint64 // tasks completed
+}
+
+// NewRouter starts n resident workers (n <= 0 means GOMAXPROCS) with
+// per-worker queues of depth queueDepth (<= 0 means DefaultQueueDepth).
+func NewRouter(n, queueDepth int) *Router {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	r := &Router{
+		workers: make([]*worker, n),
+		assign:  make(map[string]int),
+	}
+	r.wg.Add(n)
+	for i := range r.workers {
+		w := &worker{tasks: make(chan func(), queueDepth)}
+		r.workers[i] = w
+		go func() {
+			defer r.wg.Done()
+			for fn := range w.tasks {
+				fn()
+				w.executed.Add(1)
+			}
+		}()
+	}
+	return r
+}
+
+// WorkerFor returns the sticky worker index for the named instance,
+// assigning the least-loaded worker on first touch. The assignment
+// never changes for the lifetime of the router — that stability is the
+// cross-request memo-affinity contract `cqa serve` is built on.
+func (r *Router) WorkerFor(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.assign[name]; ok {
+		return id
+	}
+	best := 0
+	for i := range r.workers {
+		if r.workers[i].assigned.Load() < r.workers[best].assigned.Load() {
+			best = i
+		}
+	}
+	r.workers[best].assigned.Add(1)
+	r.assign[name] = best
+	return best
+}
+
+// Do runs fn on the named instance's resident worker and waits for it
+// to finish. Enqueueing blocks when the worker's queue is full — the
+// per-connection backpressure bound — and respects ctx while blocked;
+// once enqueued, fn always runs (it should itself observe ctx for a
+// fast exit) and Do returns after it completes, so callers may safely
+// use state fn wrote. After Drain has begun Do fails with ErrDraining.
+func (r *Router) Do(ctx context.Context, name string, fn func()) error {
+	w := r.workers[r.WorkerFor(name)]
+	done := make(chan struct{})
+	wrapped := func() {
+		defer close(done)
+		fn()
+	}
+	r.drainMu.RLock()
+	if r.draining {
+		r.drainMu.RUnlock()
+		return ErrDraining
+	}
+	select {
+	case w.tasks <- wrapped:
+		r.drainMu.RUnlock()
+	case <-ctx.Done():
+		r.drainMu.RUnlock()
+		return ctx.Err()
+	}
+	<-done
+	return nil
+}
+
+// Drain stops accepting new work, waits for every queued task to
+// finish, and stops the workers. Idempotent; concurrent Do calls
+// either enqueue before the cutover (their task completes before Drain
+// returns) or get ErrDraining.
+func (r *Router) Drain() {
+	r.drainMu.Lock()
+	already := r.draining
+	r.draining = true
+	r.drainMu.Unlock()
+	if !already {
+		for _, w := range r.workers {
+			close(w.tasks)
+		}
+	}
+	r.wg.Wait()
+}
+
+// WorkerStats is one resident worker's live counters.
+type WorkerStats struct {
+	// Queued is the current queue depth (tasks waiting, not the one
+	// executing); Executed counts tasks completed since start.
+	Queued    int    `json:"queued"`
+	Executed  uint64 `json:"executed"`
+	Instances int64  `json:"instances"`
+}
+
+// RouterStats is the router section of /metrics: per-worker queue
+// depths and the sticky assignment table, which the serving e2e tests
+// read to assert that routing stayed stable across batch boundaries.
+type RouterStats struct {
+	Workers     []WorkerStats  `json:"workers"`
+	Assignments map[string]int `json:"assignments"`
+}
+
+// Stats snapshots the router counters.
+func (r *Router) Stats() RouterStats {
+	s := RouterStats{
+		Workers:     make([]WorkerStats, len(r.workers)),
+		Assignments: make(map[string]int),
+	}
+	for i, w := range r.workers {
+		s.Workers[i] = WorkerStats{
+			Queued:    len(w.tasks),
+			Executed:  w.executed.Load(),
+			Instances: w.assigned.Load(),
+		}
+	}
+	r.mu.Lock()
+	for name, id := range r.assign {
+		s.Assignments[name] = id
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// names returns the assigned instance names, sorted (test helper).
+func (s RouterStats) names() []string {
+	out := make([]string, 0, len(s.Assignments))
+	for name := range s.Assignments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

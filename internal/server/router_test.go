@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRouterStickyAndBalanced(t *testing.T) {
+	r := NewRouter(4, 0)
+	defer r.Drain()
+	perWorker := make(map[int]int)
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("db%d", i)
+		w := r.WorkerFor(name)
+		for j := 0; j < 5; j++ {
+			if got := r.WorkerFor(name); got != w {
+				t.Fatalf("assignment for %s moved: %d then %d", name, w, got)
+			}
+		}
+		perWorker[w]++
+	}
+	for w, n := range perWorker {
+		if n != 4 {
+			t.Errorf("worker %d got %d instances, want 4 (least-assigned placement)", w, n)
+		}
+	}
+}
+
+// TestRouterSerializesPerInstance checks the affinity contract: tasks
+// for one instance run in submission order with no overlap, even when
+// submitted from many goroutines (run with -race).
+func TestRouterSerializesPerInstance(t *testing.T) {
+	r := NewRouter(2, 4)
+	defer r.Drain()
+	const tasks = 100
+	var order []int // appended inside worker tasks; safe iff serialized
+	var wg sync.WaitGroup
+	var next int
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Do(context.Background(), "solo", func() {
+				order = append(order, next)
+				next++
+			})
+		}()
+	}
+	wg.Wait()
+	if len(order) != tasks {
+		t.Fatalf("ran %d tasks, want %d", len(order), tasks)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: tasks interleaved", i, v)
+		}
+	}
+}
+
+func TestRouterDoWaitsForCompletion(t *testing.T) {
+	r := NewRouter(1, 1)
+	defer r.Drain()
+	done := false
+	if err := r.Do(context.Background(), "a", func() {
+		time.Sleep(10 * time.Millisecond)
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Do returned before its task completed")
+	}
+}
+
+// TestRouterBackpressure fills a depth-1 queue behind a stalled worker
+// and checks that the next submission blocks until canceled rather
+// than queueing unboundedly.
+func TestRouterBackpressure(t *testing.T) {
+	r := NewRouter(1, 1)
+	defer r.Drain()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); r.Do(context.Background(), "a", func() { <-release }) }()
+	time.Sleep(5 * time.Millisecond) // first task now executing
+	go func() { defer wg.Done(); r.Do(context.Background(), "a", func() {}) }()
+	time.Sleep(5 * time.Millisecond) // second task now fills the queue
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.Do(ctx, "a", func() {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Do: got %v, want deadline exceeded", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestRouterDrain(t *testing.T) {
+	r := NewRouter(2, 8)
+	var ran int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		name := fmt.Sprintf("db%d", i%4)
+		go func() {
+			defer wg.Done()
+			r.Do(context.Background(), name, func() {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	r.Drain()
+	if ran != 20 {
+		t.Fatalf("ran %d tasks before drain, want 20", ran)
+	}
+	if err := r.Do(context.Background(), "db0", func() {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do after Drain: got %v, want ErrDraining", err)
+	}
+	r.Drain() // idempotent
+	s := r.Stats()
+	var executed uint64
+	for _, w := range s.Workers {
+		executed += w.Executed
+		if w.Queued != 0 {
+			t.Errorf("queued tasks survived drain: %+v", w)
+		}
+	}
+	if executed != 20 {
+		t.Errorf("executed %d, want 20", executed)
+	}
+}

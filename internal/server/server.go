@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cqa"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Registry is the instance registry to serve; nil gets a fresh
+	// registry over a default-configured engine.
+	Registry *cqa.Registry
+	// RouterWorkers is the resident worker count (0: GOMAXPROCS).
+	RouterWorkers int
+	// QueueDepth bounds each worker's task queue (0: DefaultQueueDepth).
+	QueueDepth int
+	// Window bounds how many batch queries one connection may have in
+	// flight — read but unanswered — at a time (0: DefaultWindow). A
+	// streamed batch is read, evaluated, and answered in Window-sized
+	// chunks, so per-connection memory stays constant and a slow
+	// consumer backpressures its own producer instead of the daemon.
+	Window int
+	// MaxLine bounds a request line's length in bytes (0: DefaultMaxLine).
+	MaxLine int
+}
+
+// DefaultWindow is the per-connection in-flight query bound.
+const DefaultWindow = 256
+
+// DefaultMaxLine bounds request lines (facts bodies are not lines and
+// are bounded by http.MaxBytesReader instead).
+const DefaultMaxLine = 1 << 20
+
+// maxBodyBytes bounds non-streaming request bodies (register, mutate).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP front end: a Registry for state, a Router for
+// residency. Handlers never evaluate on the connection goroutine —
+// every decision and every mutation is submitted to the named
+// instance's resident worker, so all work on one instance serializes
+// in arrival order on one goroutine, memo-warm.
+//
+// Endpoints:
+//
+//	GET    /instances                   list registered instances
+//	POST   /instances/{name}            register; body = fact list ("R(0,1) R(1,2) ...")
+//	GET    /instances/{name}            instance info
+//	DELETE /instances/{name}            drop
+//	POST   /instances/{name}/mutate     body = {"add":["R(0,1)",...],"remove":[...]}
+//	GET    /instances/{name}/query?q=W  one decision, JSON
+//	POST   /instances/{name}/batch      NDJSON/plain query stream in, NDJSON results out
+//	GET    /metrics                     unified stats tree, JSON
+type Server struct {
+	reg     *cqa.Registry
+	router  *Router
+	window  int
+	maxLine int
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its resident workers. Call Drain to
+// stop them.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = cqa.NewRegistry(nil)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxLine <= 0 {
+		cfg.MaxLine = DefaultMaxLine
+	}
+	s := &Server{
+		reg:     cfg.Registry,
+		router:  NewRouter(cfg.RouterWorkers, cfg.QueueDepth),
+		window:  cfg.Window,
+		maxLine: cfg.MaxLine,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /instances", s.handleList)
+	s.mux.HandleFunc("POST /instances/{name}", s.handleRegister)
+	s.mux.HandleFunc("GET /instances/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /instances/{name}", s.handleDrop)
+	s.mux.HandleFunc("POST /instances/{name}/mutate", s.handleMutate)
+	s.mux.HandleFunc("GET /instances/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /instances/{name}/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the served registry.
+func (s *Server) Registry() *cqa.Registry { return s.reg }
+
+// Drain gracefully stops the resident workers: new submissions fail
+// with ErrDraining (503 to clients), queued work completes. Call after
+// http.Server.Shutdown has stopped accepting connections.
+func (s *Server) Drain() { s.router.Drain() }
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// errStatus maps a registry/router error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, cqa.ErrInstanceNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, cqa.ErrInstanceExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.reg.Infos())
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	db, err := cqa.ParseFacts(string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.reg.Register(name, db); err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	// Touch the router so the assignment exists (and is reported by
+	// /metrics) from registration on, not first query.
+	s.router.WorkerFor(name)
+	info, err := s.reg.Info(name)
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, info)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Info(r.PathValue("name"))
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Drop(name) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %q", cqa.ErrInstanceNotFound, name))
+		return
+	}
+	writeJSON(w, map[string]string{"dropped": name})
+}
+
+// mutateRequest is the mutate endpoint's body: fact tokens to add and
+// remove, applied atomically as one snapshot step.
+type mutateRequest struct {
+	Add    []string `json:"add"`
+	Remove []string `json:"remove"`
+}
+
+func parseFactList(tokens []string) ([]cqa.Fact, error) {
+	facts := make([]cqa.Fact, 0, len(tokens))
+	for _, tok := range tokens {
+		f, err := cqa.ParseFact(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		facts = append(facts, f)
+	}
+	return facts, nil
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req mutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var mut cqa.Mutation
+	var err error
+	if mut.Add, err = parseFactList(req.Add); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if mut.Remove, err = parseFactList(req.Remove); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var info cqa.InstanceInfo
+	var mutErr error
+	if doErr := s.router.Do(r.Context(), name, func() {
+		info, mutErr = s.reg.Mutate(name, mut)
+	}); doErr != nil {
+		httpError(w, errStatus(doErr), doErr)
+		return
+	}
+	if mutErr != nil {
+		httpError(w, errStatus(mutErr), mutErr)
+		return
+	}
+	writeJSON(w, info)
+}
+
+// queryResponse is one decision on the wire (query and batch).
+type queryResponse struct {
+	Index   int    `json:"index,omitempty"`
+	Query   string `json:"query"`
+	Certain *bool  `json:"certain,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Method  string `json:"method,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func responseFor(q string, res cqa.Result, err error) queryResponse {
+	resp := queryResponse{Query: q}
+	if err == nil {
+		err = res.Err
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	certain := res.Certain
+	resp.Certain = &certain
+	resp.Class = res.Class.String()
+	resp.Method = string(res.Method)
+	return resp
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q, err := cqa.ParseQuery(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res cqa.Result
+	var qErr error
+	if doErr := s.router.Do(r.Context(), name, func() {
+		res, qErr = s.reg.Query(r.Context(), name, q, cqa.Options{})
+	}); doErr != nil {
+		httpError(w, errStatus(doErr), doErr)
+		return
+	}
+	if qErr != nil {
+		httpError(w, errStatus(qErr), qErr)
+		return
+	}
+	writeJSON(w, responseFor(q.String(), res, nil))
+}
+
+// batchLine is one NDJSON request line of a batch stream.
+type batchLine struct {
+	Query string `json:"query"`
+}
+
+// handleBatch streams decisions: the request body is one query per
+// line — either a bare word ("RRX") or NDJSON ({"query":"RRX"}) — and
+// the response is NDJSON, one result object per request line, in
+// order. The stream is processed in Window-sized chunks; each chunk is
+// one submission to the instance's resident worker, so consecutive
+// chunks of one connection (and every other connection to the same
+// instance) evaluate on the same goroutine, against the same warm
+// memos, no matter how long the stream runs.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// The batch stream answers while the request body is still being
+	// read (that is the backpressure: at most Window unanswered lines).
+	// HTTP/1.x is half-duplex by default — the first response write
+	// closes the request body — so opt in to full duplex; where that is
+	// unsupported the error is ignored and short streams (under one
+	// window) still work.
+	http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	flusher, _ := w.(http.Flusher)
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), s.maxLine)
+
+	index := 0
+	var pending []queryResponse // one slot per request line of the chunk
+	var queries []cqa.Query     // parsed queries; slot i of a chunk maps via qIdx
+	var qIdx []int
+
+	flush := func() error {
+		if len(queries) > 0 {
+			var results []cqa.Result
+			var batchErr error
+			if doErr := s.router.Do(r.Context(), name, func() {
+				results, batchErr = s.reg.QueryBatch(r.Context(), name, queries, cqa.Options{})
+			}); doErr != nil {
+				batchErr = doErr
+			}
+			for i := range pending {
+				if qIdx[i] < 0 {
+					continue // parse error already recorded
+				}
+				switch {
+				case qIdx[i] < len(results):
+					idx := pending[i].Index
+					pending[i] = responseFor(pending[i].Query, results[qIdx[i]], nil)
+					pending[i].Index = idx
+				case batchErr != nil:
+					pending[i].Error = batchErr.Error()
+				default:
+					pending[i].Error = "server: decision missing"
+				}
+			}
+		}
+		for _, resp := range pending {
+			if err := enc.Encode(resp); err != nil {
+				return err
+			}
+		}
+		pending, queries, qIdx = pending[:0], queries[:0], qIdx[:0]
+		if err := out.Flush(); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		index++
+		qs := line
+		if strings.HasPrefix(line, "{") {
+			var bl batchLine
+			if err := json.Unmarshal([]byte(line), &bl); err != nil {
+				pending = append(pending, queryResponse{Index: index, Error: err.Error()})
+				qIdx = append(qIdx, -1)
+				if len(pending) >= s.window {
+					if flush() != nil {
+						return
+					}
+				}
+				continue
+			}
+			qs = bl.Query
+		}
+		resp := queryResponse{Index: index, Query: qs}
+		if q, err := cqa.ParseQuery(qs); err != nil {
+			resp.Error = err.Error()
+			qIdx = append(qIdx, -1)
+		} else {
+			qIdx = append(qIdx, len(queries))
+			queries = append(queries, q)
+		}
+		pending = append(pending, resp)
+		if len(pending) >= s.window {
+			if flush() != nil {
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		pending = append(pending, queryResponse{Error: err.Error()})
+		qIdx = append(qIdx, -1)
+	}
+	flush()
+}
