@@ -96,12 +96,23 @@ package cqa
 import (
 	"container/list"
 	"context"
+	"errors"
+	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cqa/internal/plan"
 )
+
+// ErrPanic wraps a panic recovered at an evaluation boundary: the
+// context-aware entry points (CertainCtx, CertainOptCtx, the
+// CertainBatch workers) convert a panicking decision into a
+// per-request error instead of killing the process, incrementing
+// Stats.Panics. The panic value's rendering is wrapped into the error
+// message.
+var ErrPanic = errors.New("cqa: evaluation panicked")
 
 // Plan is a compiled execution plan for one path query: the Theorem 3
 // classification plus the precomputed artifacts of its solver tier.
@@ -153,6 +164,12 @@ type Engine struct {
 	// dispatched; both are incremented outside the cache lock.
 	compiles atomic.Uint64
 	shards   atomic.Uint64
+	// panics counts evaluation panics recovered into per-request errors
+	// (see ErrPanic).
+	panics atomic.Uint64
+	// memoScale is the current soft-memory-watermark scale as float64
+	// bits (1.0 at rest); see SetMemoScale.
+	memoScale atomic.Uint64
 
 	mu    sync.Mutex
 	order *list.List // *cacheEntry, front = most recently used
@@ -187,7 +204,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.BatchShardSize == 0 {
 		cfg.BatchShardSize = DefaultBatchShardSize
 	}
-	return &Engine{
+	e := &Engine{
 		capacity:       cfg.PlanCacheSize,
 		workers:        cfg.Workers,
 		compileWorkers: cfg.CompileWorkers,
@@ -195,6 +212,42 @@ func NewEngine(cfg EngineConfig) *Engine {
 		order:          list.New(),
 		index:          make(map[string]*list.Element),
 	}
+	e.memoScale.Store(math.Float64bits(1))
+	return e
+}
+
+// SetMemoScale sets every cached plan's per-snapshot memo budgets to
+// scale × their compile-time defaults, and remembers the scale for
+// plans compiled later. This is the serving layer's soft-memory
+// watermark: under heap pressure the daemon shrinks the tier memos so
+// decisions degrade to cold builds instead of the process growing
+// toward an OOM kill; scale >= 1 restores the defaults. Safe to call
+// concurrently with evaluation.
+func (e *Engine) SetMemoScale(scale float64) {
+	if scale < 0 {
+		scale = 0
+	}
+	e.memoScale.Store(math.Float64bits(scale))
+	// Collect the finished plans under the cache lock, apply outside it:
+	// SetMemoScale evicts under each memo's own lock and must not hold
+	// the engine lock while doing so.
+	e.mu.Lock()
+	plans := make([]*Plan, 0, e.order.Len())
+	for el := e.order.Front(); el != nil; el = el.Next() {
+		if entry := el.Value.(*cacheEntry); entry.done.Load() {
+			plans = append(plans, entry.plan)
+		}
+	}
+	e.mu.Unlock()
+	for _, p := range plans {
+		p.SetMemoScale(scale)
+	}
+}
+
+// MemoScale returns the current soft-memory-watermark scale (1.0 at
+// rest).
+func (e *Engine) MemoScale() float64 {
+	return math.Float64frombits(e.memoScale.Load())
 }
 
 // Compile returns the cached plan for q, compiling it on first use.
@@ -227,10 +280,30 @@ func (e *Engine) Compile(q Query) *Plan {
 func (e *Engine) compileEntry(entry *cacheEntry) *Plan {
 	entry.once.Do(func() {
 		entry.plan = plan.Compile(entry.word.Word())
+		if scale := e.MemoScale(); scale < 1 {
+			// Born under memory pressure: start with shrunk memo budgets
+			// rather than defaults the watermark would claw back anyway.
+			entry.plan.SetMemoScale(scale)
+		}
 		e.compiles.Add(1)
 		entry.done.Store(true)
 	})
 	return entry.plan
+}
+
+// execute runs one decision with a recover() boundary: a panicking
+// evaluation — a bug, or an injected fault in the chaos soak — becomes
+// a per-request ErrPanic instead of killing the process, and the
+// panics counter records it. The deferred recover costs nothing on the
+// non-panicking path.
+func (e *Engine) execute(ctx context.Context, p *Plan, db *Instance, opts Options) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	return p.ExecuteCtx(ctx, db, opts)
 }
 
 // Certain decides CERTAINTY(q) on db with automatic tier dispatch,
@@ -253,14 +326,16 @@ func (e *Engine) CertainOpt(q Query, db *Instance, opts Options) (Result, error)
 // the Result carries no decision. Compiled plans and memoized solver
 // state survive a cancellation: a retry resumes warm, with everything
 // the interrupted solve learned.
+// A panicking decision is recovered into a per-request ErrPanic (see
+// execute); the context-free twins propagate panics unchanged.
 func (e *Engine) CertainCtx(ctx context.Context, q Query, db *Instance) (Result, error) {
-	return e.Compile(q).ExecuteCtx(ctx, db, Options{})
+	return e.execute(ctx, e.Compile(q), db, Options{})
 }
 
 // CertainOptCtx is CertainOpt bounded by a context; see CertainCtx for
-// the cancellation contract.
+// the cancellation and panic-isolation contract.
 func (e *Engine) CertainOptCtx(ctx context.Context, q Query, db *Instance, opts Options) (Result, error) {
-	return e.Compile(q).ExecuteCtx(ctx, db, opts)
+	return e.execute(ctx, e.Compile(q), db, opts)
 }
 
 // Request is one (query, instance) pair of a batch.
@@ -348,7 +423,7 @@ func (e *Engine) certainBatchSharded(ctx context.Context, reqs []Request, out []
 						out[i].Err = err
 						continue
 					}
-					res, err := sh.plan.ExecuteCtx(ctx, reqs[i].DB, reqs[i].Options)
+					res, err := e.execute(ctx, sh.plan, reqs[i].DB, reqs[i].Options)
 					res.Err = err
 					out[i] = res
 				}

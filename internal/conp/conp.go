@@ -188,6 +188,17 @@ func (c *Compiled) EncodingStats() memo.Stats {
 	return c.encs.Stats()
 }
 
+// SetMemoScale sets the encoding memo's byte budget to scale × the
+// compile-time default (the soft-memory-watermark hook); scale >= 1
+// restores the default. A CNF encoding is the largest per-snapshot
+// artifact in the system, so under heap pressure this memo is the one
+// that matters most to shrink.
+func (c *Compiled) SetMemoScale(scale float64) {
+	if c.encs != nil {
+		c.encs.SetBudget(memo.ScaledBudget(maxEncodingBytes, scale))
+	}
+}
+
 // IsCertain decides CERTAINTY(q) on db, reusing the memoized encoding
 // (and its incremental solver) when db's interned snapshot is unchanged
 // since a previous decision.

@@ -1,0 +1,164 @@
+// Package faultinject provides named failpoints for chaos testing the
+// serving stack. A failpoint is a call site — snapshot publish, memo
+// build, SAT solve, router handoff, HTTP response write — that asks
+// this package whether it should fail right now. In production nothing
+// is ever armed and every check is a single atomic load returning nil;
+// tests arm failpoints with Enable and drive overload/fault soaks that
+// assert the daemon survives.
+//
+// A failpoint fails in one of two modes: error mode returns an error
+// for the site to propagate on its normal error path, panic mode
+// panics with a PanicError — exercising the recover() boundaries at
+// the engine's evaluation workers, the router's resident workers, and
+// the HTTP handler layer. Firing is deterministic, not random: an
+// armed failpoint fails on every Nth hit (counted per failpoint), so a
+// soak can reconcile recovered-panic and per-request-error counters
+// against exactly how many faults were injected.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Site names of the failpoints wired into the serving stack. Arming any
+// other name is allowed (tests may add their own sites) but these are
+// the ones the production code checks.
+const (
+	// SnapshotPublish fires in instance.Interned when a freshly interned
+	// snapshot (root or delta) is about to be published.
+	SnapshotPublish = "instance.publish"
+	// MemoBuild fires inside memo.LRU before a cold artifact build.
+	MemoBuild = "memo.build"
+	// MemoRepair fires inside memo.LRU before a lineage repair attempt.
+	MemoRepair = "memo.repair"
+	// SATSolve fires at the entry of the SAT solver's search, before any
+	// solver state is touched.
+	SATSolve = "sat.solve"
+	// RouterHandoff fires when the server router hands a task to a
+	// worker lane.
+	RouterHandoff = "router.handoff"
+	// ServerWrite fires before the HTTP batch endpoint writes a response
+	// chunk, simulating a failed/aborted connection write.
+	ServerWrite = "server.write"
+)
+
+// PanicError is the value a panic-mode failpoint panics with, so
+// recover() boundaries (and tests) can tell an injected fault from a
+// genuine bug.
+type PanicError struct{ Site string }
+
+func (e PanicError) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", e.Site)
+}
+
+// InjectedError is the error returned by an error-mode failpoint.
+type InjectedError struct{ Site string }
+
+func (e InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s", e.Site)
+}
+
+// armed is the fast-path gate: when false (the default, and always in
+// production) Fire is one atomic load. It is true iff the registry
+// below has at least one armed failpoint.
+var armed atomic.Bool
+
+var (
+	mu     sync.Mutex
+	points = make(map[string]*point)
+)
+
+// point is one armed failpoint.
+type point struct {
+	every     uint64 // fire on every Nth hit (>= 1)
+	panicMode bool
+	hits      atomic.Uint64
+	fired     atomic.Uint64
+}
+
+// Enable arms the named failpoint: every Nth hit fails, in panic mode
+// or error mode. every < 1 is treated as 1 (every hit fails).
+// Re-enabling an armed failpoint resets its counters.
+func Enable(name string, every int, panicMode bool) {
+	if every < 1 {
+		every = 1
+	}
+	mu.Lock()
+	points[name] = &point{every: uint64(every), panicMode: panicMode}
+	armed.Store(true)
+	mu.Unlock()
+}
+
+// Disable disarms the named failpoint, keeping its fired count
+// available via Fired until Reset.
+func Disable(name string) {
+	mu.Lock()
+	if p := points[name]; p != nil {
+		// Keep the point for Fired() but stop it firing.
+		p.every = 0
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every failpoint and clears all counters.
+func Reset() {
+	mu.Lock()
+	points = make(map[string]*point)
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// Fired returns how many times the named failpoint has actually failed
+// (not merely been hit) since it was enabled.
+func Fired(name string) uint64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+// Hits returns how many times the named failpoint has been reached
+// since it was enabled.
+func Hits(name string) uint64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Fire is the failpoint check. Disarmed (the production state) it is a
+// single atomic load returning nil. Armed, it counts the hit and on
+// every Nth hit either panics with a PanicError (panic mode) or
+// returns an InjectedError for the site to propagate.
+func Fire(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	var every uint64
+	var panicMode bool
+	if p != nil {
+		every, panicMode = p.every, p.panicMode
+	}
+	mu.Unlock()
+	if p == nil || every == 0 {
+		return nil
+	}
+	if p.hits.Add(1)%every != 0 {
+		return nil
+	}
+	p.fired.Add(1)
+	if panicMode {
+		panic(PanicError{Site: name})
+	}
+	return InjectedError{Site: name}
+}

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Fire("nope"); err != nil {
+			t.Fatalf("disarmed Fire returned %v", err)
+		}
+	}
+}
+
+func TestFireEveryNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", 3, false)
+	var fails int
+	for i := 0; i < 9; i++ {
+		if err := Fire("p"); err != nil {
+			fails++
+			var inj InjectedError
+			if !errors.As(err, &inj) || inj.Site != "p" {
+				t.Fatalf("unexpected error %v", err)
+			}
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("every=3 over 9 hits fired %d times, want 3", fails)
+	}
+	if Fired("p") != 3 || Hits("p") != 9 {
+		t.Fatalf("Fired=%d Hits=%d, want 3/9", Fired("p"), Hits("p"))
+	}
+}
+
+func TestFirePanicMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("boom", 1, true)
+	defer func() {
+		p := recover()
+		var pe PanicError
+		if err, ok := p.(error); !ok || !errors.As(err, &pe) || pe.Site != "boom" {
+			t.Fatalf("recovered %v, want PanicError{boom}", p)
+		}
+		if Fired("boom") != 1 {
+			t.Fatalf("Fired = %d, want 1", Fired("boom"))
+		}
+	}()
+	Fire("boom")
+	t.Fatal("panic-mode failpoint did not panic")
+}
+
+func TestDisableStopsFiring(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("d", 1, false)
+	if Fire("d") == nil {
+		t.Fatal("armed failpoint did not fire")
+	}
+	Disable("d")
+	if err := Fire("d"); err != nil {
+		t.Fatalf("disabled failpoint fired: %v", err)
+	}
+	if Fired("d") != 1 {
+		t.Fatalf("Fired survived disable wrong: %d, want 1", Fired("d"))
+	}
+}
+
+// TestFireConcurrent exercises the armed path under -race: concurrent
+// Fire, Enable, and Disable must be data-race free, and the fired
+// count must equal hits/every when the config is stable.
+func TestFireConcurrent(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("c", 4, false)
+	var wg sync.WaitGroup
+	var fails sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if Fire("c") != nil {
+					n++
+				}
+			}
+			fails.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	fails.Range(func(_, v any) bool { total += v.(int); return true })
+	if want := 8 * 1000 / 4; total != want {
+		t.Fatalf("fired %d, want %d", total, want)
+	}
+}

@@ -352,6 +352,15 @@ func (c *Compiled) NFA() *automata.NFA { return c.nfa }
 // Hits the number of Solves served from a resident binding.
 func (c *Compiled) BindingStats() memo.Stats { return c.bindings.Stats() }
 
+// SetMemoScale sets the binding memo's byte budget to scale × the
+// compile-time default (the serving layer's soft-memory-watermark
+// hook); scale >= 1 restores the default. Shrinking evicts LRU
+// bindings, degrading warm decisions to cold builds instead of growing
+// the heap.
+func (c *Compiled) SetMemoScale(scale float64) {
+	c.bindings.SetBudget(memo.ScaledBudget(MaxBindingBytes, scale))
+}
+
 // Solve runs the worklist implementation of the Figure 5 algorithm on db
 // for path query q. The Certain field of the result decides
 // CERTAINTY(q) whenever q satisfies C3.

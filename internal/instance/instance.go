@@ -43,6 +43,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"cqa/internal/faultinject"
 	"cqa/internal/words"
 )
 
@@ -520,6 +521,12 @@ func (db *Instance) Interned() *Interned {
 		return c.interned
 	}
 	if iv := db.internedDelta(); iv != nil {
+		// Chaos failpoint: a freshly interned delta snapshot is about to
+		// be published. Interned has no error path, so an injected error
+		// escalates to a panic for the callers' recover boundaries.
+		if err := faultinject.Fire(faultinject.SnapshotPublish); err != nil {
+			panic(err)
+		}
 		c := db.snapshot()
 		c.interned = iv
 		return db.publish(c).interned
@@ -549,6 +556,11 @@ func (db *Instance) Interned() *Interned {
 			ib.Vals[i] = iv.constID[v]
 		}
 		iv.blocks[rid] = append(iv.blocks[rid], ib)
+	}
+	// Chaos failpoint: a freshly interned root snapshot is about to be
+	// published (same escalation contract as the delta branch above).
+	if err := faultinject.Fire(faultinject.SnapshotPublish); err != nil {
+		panic(err)
 	}
 	c := db.snapshot()
 	c.interned = iv

@@ -14,9 +14,20 @@ package memo
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
+
+	"cqa/internal/faultinject"
 )
+
+// ErrBuildPanicked is the panic value delivered to a caller that joined
+// an in-flight artifact build which itself panicked: the panicking
+// builder unwinds with its own panic value, the entry is removed from
+// the memo (a later lookup rebuilds), and every goroutine that was
+// blocked on the same entry panics with this sentinel so a recover()
+// boundary upstream can answer the affected requests individually.
+var ErrBuildPanicked = errors.New("memo: joined an artifact build that panicked")
 
 // LRU is a bounded build-once memo. Get returns the cached value for a
 // key, building it at most once per residency; when either bound (entry
@@ -149,9 +160,13 @@ func (m *LRU[K, V]) GetOrRepair(key K, repair func(peek func(K) (V, bool)) (V, i
 		return m.run(e, build)
 	}
 	return m.run(e, func() V {
-		if v, hops, ok := repair(m.Peek); ok {
-			m.noteRepair(hops)
-			return v
+		// An injected repair fault degrades to the cold builder — the
+		// graceful path a real repair failure would take.
+		if err := faultinject.Fire(faultinject.MemoRepair); err == nil {
+			if v, hops, ok := repair(m.Peek); ok {
+				m.noteRepair(hops)
+				return v
+			}
 		}
 		return build()
 	})
@@ -198,15 +213,52 @@ func (m *LRU[K, V]) acquire(key K) (*entry[K, V], bool) {
 
 // run executes the entry's at-most-once build with the given producer
 // and settles cost accounting.
+//
+// A build that panics must not poison the entry: sync.Once considers a
+// panicking function done, so without cleanup every later lookup of the
+// key would get the zero value forever — one panicking decision would
+// turn into a permanently broken snapshot. Instead the failed entry is
+// removed from the memo (the next lookup is a fresh miss that rebuilds)
+// while the panic keeps unwinding to the caller's recover() boundary;
+// goroutines that joined the failed build panic with ErrBuildPanicked.
 func (m *LRU[K, V]) run(e *entry[K, V], produce func() V) V {
 	e.once.Do(func() {
+		defer func() {
+			if !e.built.Load() {
+				m.removeFailed(e)
+			}
+		}()
+		// A site with no error path escalates an injected error to a
+		// panic; the recover() boundary upstream answers per-request.
+		if err := faultinject.Fire(faultinject.MemoBuild); err != nil {
+			panic(err)
+		}
 		e.val = produce()
 		e.built.Store(true)
 	})
+	if !e.built.Load() {
+		panic(ErrBuildPanicked)
+	}
 	if m.cost != nil && !e.charged.Load() {
 		m.charge(e)
 	}
 	return e.val
+}
+
+// removeFailed drops an entry whose build panicked, so the key misses
+// (and rebuilds) on its next lookup. The failed build never charged any
+// cost, so only residency is undone.
+func (m *LRU[K, V]) removeFailed(e *entry[K, V]) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.evicted {
+		return
+	}
+	if el, ok := m.index[e.key]; ok && el.Value.(*entry[K, V]) == e {
+		m.order.Remove(el)
+		delete(m.index, e.key)
+		e.evicted = true
+	}
 }
 
 // noteRepair records a successful lineage repair of the given hop
@@ -251,6 +303,53 @@ func (m *LRU[K, V]) charge(e *entry[K, V]) {
 	for m.total > m.budget && m.order.Len() > 1 {
 		m.evictOldest()
 	}
+}
+
+// SetBudget adjusts the byte budget of a cost-bounded memo at runtime —
+// the soft-memory-watermark hook: under heap pressure the serving layer
+// shrinks the tier memos so the process degrades to cold builds instead
+// of growing toward an OOM kill. Shrinking evicts least-recently-used
+// entries until the memo fits (never below one resident entry, matching
+// the construction-time contract); growing simply raises the bound. A
+// memo built without a cost function has nothing to bound and ignores
+// the call. The budget is clamped to at least 1 so the cost bound stays
+// armed.
+func (m *LRU[K, V]) SetBudget(budget int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cost == nil {
+		return
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	m.budget = budget
+	for m.total > m.budget && m.order.Len() > 1 {
+		m.evictOldest()
+	}
+}
+
+// ScaledBudget maps a compile-time default budget and a pressure scale
+// to a SetBudget argument, clamped to [1, def]: the soft-memory
+// watermark only ever shrinks a memo below its default (scale >= 1
+// restores it), and the minimum of 1 keeps the cost bound armed.
+func ScaledBudget(def int64, scale float64) int64 {
+	if scale >= 1 {
+		return def
+	}
+	b := int64(float64(def) * scale)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Budget returns the current byte budget (0 when the memo has no cost
+// function).
+func (m *LRU[K, V]) Budget() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budget
 }
 
 // Stats returns a snapshot of the memo's lookup counters.

@@ -1,9 +1,13 @@
 package memo
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"cqa/internal/faultinject"
 )
 
 func TestGetBuildsOnce(t *testing.T) {
@@ -235,5 +239,168 @@ func TestGetOrRepairChargesCost(t *testing.T) {
 	}, func() int { return 0 })
 	if got := m.CostTotal(); got != 90 {
 		t.Errorf("CostTotal = %d, want 90 (repaired entries are charged too)", got)
+	}
+}
+
+// TestBuildPanicDoesNotPoisonEntry: a panicking build must not leave a
+// permanently broken entry behind — sync.Once would otherwise consider
+// the build done and serve the zero value forever. The panic reaches
+// the caller, the entry is removed, and the next Get rebuilds.
+func TestBuildPanicDoesNotPoisonEntry(t *testing.T) {
+	m := NewLRU[int, int](4)
+	func() {
+		defer func() {
+			if p := recover(); p != "boom" {
+				t.Fatalf("recovered %v, want the build's own panic value", p)
+			}
+		}()
+		m.Get(1, func() int { panic("boom") })
+		t.Fatal("Get returned after a panicking build")
+	}()
+	if m.Contains(1) {
+		t.Fatal("failed entry stayed resident")
+	}
+	if got := m.Get(1, func() int { return 99 }); got != 99 {
+		t.Fatalf("rebuild after panic: got %d, want 99", got)
+	}
+}
+
+// TestJoinedBuildPanicDelivered: a goroutine that joined an in-flight
+// build which then panicked must itself panic (with ErrBuildPanicked)
+// rather than receive the zero value as if the build had succeeded.
+func TestJoinedBuildPanicDelivered(t *testing.T) {
+	m := NewLRU[int, int](4)
+	inBuild := make(chan struct{})
+	joinerIn := make(chan struct{})
+	joined := make(chan any, 1)
+	go func() {
+		var p any
+		defer func() { joined <- p }()
+		defer func() { p = recover() }()
+		<-inBuild
+		close(joinerIn)
+		m.Get(1, func() int { t.Error("joiner rebuilt during the failed build"); return 0 })
+	}()
+	func() {
+		defer func() { recover() }()
+		m.Get(1, func() int {
+			close(inBuild)
+			<-joinerIn
+			// Give the joiner a beat to block on the entry's once.
+			time.Sleep(10 * time.Millisecond)
+			panic("boom")
+		})
+	}()
+	p := <-joined
+	err, ok := p.(error)
+	if !ok || !errors.Is(err, ErrBuildPanicked) {
+		t.Fatalf("joiner recovered %v, want ErrBuildPanicked", p)
+	}
+	// The key rebuilds cleanly afterwards.
+	if got := m.Get(1, func() int { return 7 }); got != 7 {
+		t.Fatalf("rebuild after joined panic: got %d, want 7", got)
+	}
+}
+
+// TestSetBudgetShrinksAndRestores: shrinking the byte budget at
+// runtime (the soft-memory watermark) evicts LRU entries down to the
+// new bound — but never below one resident entry — and raising it
+// simply allows growth again.
+func TestSetBudgetShrinksAndRestores(t *testing.T) {
+	m := NewLRUWithBudget[int](16, 100, func(v int) int64 { return int64(v) })
+	for k := 0; k < 4; k++ {
+		m.Get(k, func() int { return 20 }) // total 80 of 100
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	m.SetBudget(30)
+	if got := m.Budget(); got != 30 {
+		t.Fatalf("Budget = %d, want 30", got)
+	}
+	if m.Len() != 1 || m.CostTotal() != 20 {
+		t.Fatalf("after shrink: Len=%d CostTotal=%d, want 1 entry of cost 20", m.Len(), m.CostTotal())
+	}
+	// The survivor is the most recently used key.
+	if !m.Contains(3) {
+		t.Fatal("shrink evicted the MRU entry")
+	}
+	// Even a budget below any entry's cost keeps one resident entry.
+	m.SetBudget(1)
+	if m.Len() != 1 {
+		t.Fatalf("after shrink below entry cost: Len=%d, want 1", m.Len())
+	}
+	m.SetBudget(100)
+	for k := 0; k < 4; k++ {
+		m.Get(k, func() int { return 20 })
+	}
+	if m.Len() != 4 {
+		t.Fatalf("after restore: Len=%d, want 4", m.Len())
+	}
+	// A memo without a cost function ignores SetBudget.
+	plain := NewLRU[int, int](4)
+	plain.SetBudget(1)
+	if got := plain.Budget(); got != 0 {
+		t.Fatalf("cost-less Budget = %d, want 0", got)
+	}
+}
+
+func TestScaledBudget(t *testing.T) {
+	for _, tc := range []struct {
+		def   int64
+		scale float64
+		want  int64
+	}{
+		{100, 1, 100},
+		{100, 2, 100}, // never grows past the default
+		{100, 0.25, 25},
+		{100, 0, 1}, // clamped so the bound stays armed
+		{100, -1, 1},
+	} {
+		if got := ScaledBudget(tc.def, tc.scale); got != tc.want {
+			t.Errorf("ScaledBudget(%d, %g) = %d, want %d", tc.def, tc.scale, got, tc.want)
+		}
+	}
+}
+
+// TestMemoFailpoints: the MemoBuild failpoint escalates to a panic (a
+// build has no error path) and removes the entry; the MemoRepair
+// failpoint degrades the repair to the cold builder — the graceful
+// path a real repair failure takes.
+func TestMemoFailpoints(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	m := NewLRU[int, int](4)
+	faultinject.Enable(faultinject.MemoBuild, 1, false)
+	func() {
+		defer func() {
+			var err error
+			p := recover()
+			if pe, ok := p.(error); ok {
+				err = pe
+			}
+			var inj faultinject.InjectedError
+			if !errors.As(err, &inj) || inj.Site != faultinject.MemoBuild {
+				t.Fatalf("recovered %v, want injected MemoBuild error", p)
+			}
+		}()
+		m.Get(1, func() int { return 1 })
+	}()
+	faultinject.Disable(faultinject.MemoBuild)
+	if got := m.Get(1, func() int { return 5 }); got != 5 {
+		t.Fatalf("rebuild after injected build fault: got %d, want 5", got)
+	}
+
+	faultinject.Enable(faultinject.MemoRepair, 1, false)
+	var built, repaired bool
+	got := m.GetOrRepair(2,
+		func(peek func(int) (int, bool)) (int, int, bool) { repaired = true; return 0, 0, true },
+		func() int { built = true; return 9 })
+	if repaired || !built || got != 9 {
+		t.Fatalf("injected repair fault: repaired=%v built=%v got=%d, want cold build of 9", repaired, built, got)
+	}
+	if m.Stats().Repairs != 0 {
+		t.Fatalf("degraded repair still counted: %+v", m.Stats())
 	}
 }

@@ -302,6 +302,22 @@ func (e *Evaluator) BindingStats() memo.Stats {
 	return s
 }
 
+// SetMemoScale sets every memo behind the evaluator — the NL artifact
+// memo and the fixpoint sub-solvers' binding memos — to scale × its
+// compile-time default byte budget (the soft-memory-watermark hook);
+// scale >= 1 restores the defaults.
+func (e *Evaluator) SetMemoScale(scale float64) {
+	if e.bindings != nil {
+		e.bindings.SetBudget(memo.ScaledBudget(fixpoint.MaxBindingBytes, scale))
+	}
+	if e.whole != nil {
+		e.whole.SetMemoScale(scale)
+	}
+	if e.exit != nil {
+		e.exit.SetMemoScale(scale)
+	}
+}
+
 // IsCertain decides CERTAINTY(q) on db with the precompiled machinery,
 // evaluating "∃c ∈ adom(db): ¬O(c)".
 func (e *Evaluator) IsCertain(db *instance.Instance) bool {

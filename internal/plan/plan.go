@@ -255,6 +255,27 @@ func (p *Plan) MemoStats() memo.Stats {
 	return s
 }
 
+// SetMemoScale sets every built tier's per-snapshot memo to scale ×
+// its compile-time default byte budget — the engine fans the serving
+// layer's soft-memory watermark out through this. Shrinking evicts LRU
+// artifacts so decisions degrade to cold builds instead of growing the
+// heap; scale >= 1 restores the defaults. Tiers compiled lazily after
+// this call start at their defaults (the engine re-applies its current
+// scale when it compiles a plan). The memo budgets are the one piece
+// of plan state that is mutable after Compile; the memos serialize the
+// adjustment internally, so this is safe concurrently with evaluation.
+func (p *Plan) SetMemoScale(scale float64) {
+	if p.nlBuilt.Load() && p.nlErr == nil {
+		p.nlEval.SetMemoScale(scale)
+	}
+	if p.fpBuilt.Load() {
+		p.fp.SetMemoScale(scale)
+	}
+	if p.satBuilt.Load() {
+		p.satC.SetMemoScale(scale)
+	}
+}
+
 // Certain decides CERTAINTY(q) on db with automatic tier dispatch.
 func (p *Plan) Certain(db *instance.Instance) Result {
 	r, err := p.Execute(db, Options{})

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"cqa/internal/faultinject"
 )
 
 // Status is the result of solving.
@@ -868,6 +870,14 @@ func (s *Solver) SolveAssumingCtx(ctx context.Context, assumptions ...int) Statu
 	}
 	if ctx.Err() != nil {
 		return Canceled
+	}
+	// Chaos failpoint: fires before any solver state is touched, so the
+	// memoized encoding, trail, and learned clauses survive an injected
+	// fault intact and a retry re-solves warm. Status has no error arm,
+	// so an injected error escalates to a panic for the recover()
+	// boundary upstream.
+	if err := faultinject.Fire(faultinject.SATSolve); err != nil {
+		panic(err)
 	}
 	for _, a := range assumptions {
 		if a == 0 || a > s.nVars || a < -s.nVars {

@@ -18,14 +18,20 @@ type Metrics struct {
 	Engine    cqa.Stats          `json:"engine"`
 	Instances []cqa.InstanceInfo `json:"instances"`
 	Router    RouterStats        `json:"router"`
+	// HandlerPanics counts panics recovered by the HTTP handler
+	// middleware (connection-goroutine panics, outside the router
+	// lanes); engine.panics and router.panics cover the other two
+	// recovery boundaries.
+	HandlerPanics uint64 `json:"handler_panics"`
 }
 
 // Metrics snapshots the full stats tree.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		Engine:    s.reg.Engine().Stats(),
-		Instances: s.reg.Infos(),
-		Router:    s.router.Stats(),
+		Engine:        s.reg.Engine().Stats(),
+		Instances:     s.reg.Infos(),
+		Router:        s.router.Stats(),
+		HandlerPanics: s.handlerPanics.Load(),
 	}
 }
 

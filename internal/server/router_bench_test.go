@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// BenchmarkLaneIsolation measures a fast-lane round trip (submit →
+// sticky worker → execute → reply) with the heavy lane quiet versus
+// saturated. The heavy worker is parked on a blocking task and its
+// queue filled to capacity, so the saturated variant costs no extra
+// CPU: any slowdown is lane coupling — a shared queue, a shared lock
+// on the submit path — which is exactly what the two-lane design
+// promises away. The benchgate ratio gate heavy-lane-isolation bounds
+// saturated/quiet at 1.5x; a merged or lock-coupled lane would blow
+// through it by orders of magnitude (fast requests stuck behind, or
+// rejected with, heavy work).
+func BenchmarkLaneIsolation(b *testing.B) {
+	fastLoop := func(b *testing.B, r *Router) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.Do(ctx, "db0", func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("quiet", func(b *testing.B) {
+		r := NewRouter(2, 0, 1, 8)
+		defer r.Drain()
+		fastLoop(b, r)
+	})
+
+	b.Run("saturated", func(b *testing.B) {
+		r := NewRouter(2, 0, 1, 8)
+		// Park the heavy worker and fill its queue to capacity: the
+		// heavy lane is as overloaded as it can be for the whole
+		// measurement, and one more DoHeavy would be rejected.
+		release := make(chan struct{})
+		started := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.DoHeavy(context.Background(), func() { close(started); <-release })
+		}()
+		<-started
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); r.DoHeavy(context.Background(), func() {}) }()
+		}
+		for r.Stats().Heavy.Queued < 8 {
+		}
+		fastLoop(b, r)
+		b.StopTimer()
+		close(release)
+		wg.Wait()
+		r.Drain()
+	})
+}

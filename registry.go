@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry errors.
@@ -203,6 +204,60 @@ func (r *Registry) QueryBatch(ctx context.Context, name string, queries []Query,
 	out := make([]Result, 0, len(queries))
 	for _, q := range queries {
 		res, err := r.eng.CertainOptCtx(ctx, q, m.db, opts)
+		if err != nil && ctx.Err() != nil {
+			return out, err
+		}
+		m.queries.Add(1)
+		res.Err = err
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// BatchItem is one query of a QueryBatchItems run, optionally carrying
+// its own deadline. A zero Deadline means the batch context alone
+// governs the item.
+type BatchItem struct {
+	Query Query
+	// Deadline is the item's absolute deadline. An item whose deadline
+	// has already passed when its turn comes — typically because the
+	// batch sat in a serving queue — is answered with a deadline error
+	// without being evaluated: no memo lookup, no cold build, no query
+	// counted.
+	Deadline time.Time
+}
+
+// QueryBatchItems is QueryBatch with per-item deadlines: the serve
+// daemon's NDJSON batch path, where each request line may carry its own
+// timeout_ms. Items are evaluated sequentially under one read lock like
+// QueryBatch; an item with a live deadline evaluates under a context
+// bounded by it (its expiry errors only that item), while an item whose
+// deadline has already passed is answered with context.DeadlineExceeded
+// without ever being evaluated. Evaluation stops at the first
+// batch-context error; results before it are returned with a short
+// count.
+func (r *Registry) QueryBatchItems(ctx context.Context, name string, items []BatchItem, opts Options) ([]Result, error) {
+	m, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Result, 0, len(items))
+	for _, it := range items {
+		ictx := ctx
+		var cancel context.CancelFunc
+		if !it.Deadline.IsZero() {
+			if !time.Now().Before(it.Deadline) {
+				out = append(out, Result{Err: fmt.Errorf("deadline expired before evaluation: %w", context.DeadlineExceeded)})
+				continue
+			}
+			ictx, cancel = context.WithDeadline(ctx, it.Deadline)
+		}
+		res, err := r.eng.CertainOptCtx(ictx, it.Query, m.db, opts)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil && ctx.Err() != nil {
 			return out, err
 		}

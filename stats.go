@@ -18,6 +18,10 @@ import (
 type Stats struct {
 	Plans PlanStats `json:"plans"`
 	Memo  MemoStats `json:"memo"`
+	// Panics counts evaluation panics recovered into per-request errors
+	// at the engine's context-aware entry points (see ErrPanic); on a
+	// healthy deployment it stays zero.
+	Panics uint64 `json:"panics"`
 }
 
 // PlanStats are the plan-cache and batch-scheduler counters.
@@ -89,6 +93,7 @@ func (e *Engine) Stats() Stats {
 			Compiles: e.compiles.Load(),
 			Shards:   e.shards.Load(),
 		},
+		Panics: e.panics.Load(),
 	}
 	var m memo.Stats
 	for el := e.order.Front(); el != nil; el = el.Next() {
@@ -132,5 +137,6 @@ func (s Stats) Counters() []Counter {
 		{"memo_repairs", s.Memo.Repairs},
 		{"memo_cold_builds", s.Memo.ColdBuilds},
 		{"memo_max_lineage_depth", s.Memo.MaxLineageDepth},
+		{"panics", s.Panics},
 	}
 }
