@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"cqa"
@@ -87,12 +88,14 @@ func usage() {
   cqa plan -q Q                    compiled execution plan for q
   cqa batch [-file F] [-workers N] [-format lines|ndjson|csv]
             [-max-line BYTES] [-shard-size N] [-compile-workers N]
+            [-solve-workers N] [-parallel-threshold N]
             [-stats]               decide a request batch; ndjson reads
                                    {"query":..., "facts":[...]} lines and
                                    streams one-line-JSON results; csv reads
                                    id,query,rel,key,val fact rows grouped
                                    by request id
   cqa serve [-addr A] [-workers N] [-shard-size N] [-compile-workers N]
+            [-solve-workers N] [-parallel-threshold N]
             [-router-workers N] [-queue-depth N] [-window N]
                                    resident HTTP/NDJSON daemon over named
                                    instances (see docs/serving.md)
@@ -113,7 +116,10 @@ func loadInstance(dbPath, facts string) (*instance.Instance, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return instance.ReadCSV(f)
+		// The parallel loader degrades to ReadCSV on one core and keeps
+		// the same format and error contract, so every -db path gets the
+		// pipelined ingest for free.
+		return instance.ReadCSVParallel(f, runtime.GOMAXPROCS(0))
 	case facts != "":
 		return instance.ParseFacts(facts)
 	default:
@@ -272,11 +278,15 @@ func engineFlags(fs *flag.FlagSet) func() *cqa.Engine {
 	workers := fs.Int("workers", 0, "worker-pool size (default: GOMAXPROCS)")
 	shardSize := fs.Int("shard-size", 0, "requests per batch shard (default: engine default; <0 disables sharding)")
 	compileWorkers := fs.Int("compile-workers", 0, "concurrent plan compilations in the batch pre-pass (default: workers)")
+	solveWorkers := fs.Int("solve-workers", 0, "intra-query workers for partitioned solves on giant instances (default: GOMAXPROCS; 1 disables)")
+	parallelThreshold := fs.Int("parallel-threshold", 0, "fact count at which a solve engages -solve-workers (default: engine default; <0 forces)")
 	return func() *cqa.Engine {
 		return cqa.NewEngine(cqa.EngineConfig{
-			Workers:        *workers,
-			CompileWorkers: *compileWorkers,
-			BatchShardSize: *shardSize,
+			Workers:           *workers,
+			CompileWorkers:    *compileWorkers,
+			BatchShardSize:    *shardSize,
+			SolveWorkers:      *solveWorkers,
+			ParallelThreshold: *parallelThreshold,
 		})
 	}
 }

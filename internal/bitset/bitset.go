@@ -69,3 +69,74 @@ func (b Bits) ForEach(f func(i int)) {
 		}
 	}
 }
+
+// Or merges src into b word-wise (b |= src). src must not be longer
+// than b; the partitioned solver passes use it to fold per-worker
+// frontier accumulators into the shared relation.
+func (b Bits) Or(src Bits) {
+	for i, w := range src {
+		b[i] |= w
+	}
+}
+
+// NotFrom writes the complement of src over a domain of n bits into b
+// (b = ^src masked to n). b and src may alias. It replaces the
+// open-coded complement loops in the NL tier (avoid = ^exit-starts,
+// O = ^whole-starts) and the Lemma 12 terminal bitset.
+func (b Bits) NotFrom(src Bits, n int) {
+	for i, w := range src {
+		b[i] = ^w
+	}
+	b.MaskTail(n)
+}
+
+// ForEachIn calls f with the index of every set bit in [lo, hi),
+// ascending. hi is clamped to the vector length, so callers may pass a
+// word-rounded upper bound. The partitioned fixpoint scan uses it to
+// walk only one shard's slice of the frontier.
+func (b Bits) ForEachIn(lo, hi int, f func(i int)) {
+	if max := len(b) << 6; hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return
+	}
+	wlo, whi := lo>>6, (hi+63)>>6
+	for wi := wlo; wi < whi; wi++ {
+		w := b[wi]
+		if wi == wlo && lo&63 != 0 {
+			w &^= (1 << (uint(lo) & 63)) - 1
+		}
+		if wi == whi-1 && hi&63 != 0 {
+			w &= (1 << (uint(hi) & 63)) - 1
+		}
+		for w != 0 {
+			f(wi<<6 | bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// CountIn returns the number of set bits in [lo, hi). hi is clamped to
+// the vector length like ForEachIn.
+func (b Bits) CountIn(lo, hi int) int {
+	if max := len(b) << 6; hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return 0
+	}
+	wlo, whi := lo>>6, (hi+63)>>6
+	n := 0
+	for wi := wlo; wi < whi; wi++ {
+		w := b[wi]
+		if wi == wlo && lo&63 != 0 {
+			w &^= (1 << (uint(lo) & 63)) - 1
+		}
+		if wi == whi-1 && hi&63 != 0 {
+			w &= (1 << (uint(hi) & 63)) - 1
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomBits(t *testing.T, rng *rand.Rand, n int) Bits {
+	t.Helper()
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func TestOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		a := randomBits(t, rng, n)
+		b := randomBits(t, rng, n)
+		want := New(n)
+		for i := 0; i < n; i++ {
+			if a.Test(i) || b.Test(i) {
+				want.Set(i)
+			}
+		}
+		a.Or(b)
+		if !a.Equal(want) {
+			t.Fatalf("n=%d: Or mismatch", n)
+		}
+	}
+}
+
+func TestNotFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		src := randomBits(t, rng, n)
+		dst := New(n)
+		dst.NotFrom(src, n)
+		for i := 0; i < n; i++ {
+			if dst.Test(i) == src.Test(i) {
+				t.Fatalf("n=%d bit %d: NotFrom not complement", n, i)
+			}
+		}
+		// No bits beyond the domain may leak from the word complement.
+		if got, want := dst.Count(), n-src.Count(); got != want {
+			t.Fatalf("n=%d: NotFrom count %d, want %d", n, got, want)
+		}
+		// Aliased complement in place.
+		src2 := randomBits(t, rng, n)
+		ref := New(n)
+		ref.NotFrom(src2, n)
+		src2.NotFrom(src2, n)
+		if !src2.Equal(ref) {
+			t.Fatalf("n=%d: aliased NotFrom mismatch", n)
+		}
+	}
+}
+
+func TestForEachInAndCountIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 64, 65, 300} {
+		b := randomBits(t, rng, n)
+		ranges := [][2]int{
+			{0, n}, {0, 0}, {n, n}, {0, 1}, {1, 64}, {63, 65},
+			{64, 128}, {5, 200}, {0, n + 64}, {7, 7}, {200, 100},
+		}
+		for _, r := range ranges {
+			lo, hi := r[0], r[1]
+			var want []int
+			chi := hi
+			if chi > n {
+				chi = n
+			}
+			for i := lo; i < chi; i++ {
+				if i >= 0 && b.Test(i) {
+					want = append(want, i)
+				}
+			}
+			var got []int
+			b.ForEachIn(lo, hi, func(i int) { got = append(got, i) })
+			if len(got) != len(want) {
+				t.Fatalf("n=%d [%d,%d): ForEachIn got %v, want %v", n, lo, hi, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d [%d,%d): ForEachIn got %v, want %v", n, lo, hi, got, want)
+				}
+			}
+			if c := b.CountIn(lo, hi); c != len(want) {
+				t.Fatalf("n=%d [%d,%d): CountIn %d, want %d", n, lo, hi, c, len(want))
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"cqa/internal/automata"
 	"cqa/internal/bitset"
@@ -129,6 +130,11 @@ type Compiled struct {
 	// never serializes Solves over other instances. The NL tier reuses
 	// the same memo policy for its per-snapshot artifacts.
 	bindings *memo.LRU[*instance.Interned, *binding]
+
+	// parSolves/parShards count engagements of the partitioned solver
+	// (see SolveInternedCtx); surfaced via ParallelStats.
+	parSolves atomic.Uint64
+	parShards atomic.Uint64
 }
 
 // MaxBindings bounds the per-query binding memo so that compiled plans

@@ -3,6 +3,7 @@ package fo
 import (
 	"cqa/internal/bitset"
 	"cqa/internal/instance"
+	"cqa/internal/par"
 	"cqa/internal/words"
 )
 
@@ -16,6 +17,20 @@ import (
 // an instance: bit c of the result is set iff db ⊨ ψ(c) for the
 // rewriting ψ of q. Bits at and beyond NumConsts are zero.
 func CertainStartsBits(iv *instance.Interned, q words.Word) bitset.Bits {
+	return CertainStartsBitsPar(iv, q, 1)
+}
+
+// parBlockFloor is the relation size below which a DP pass stays
+// sequential even when workers are available: sharding a few thousand
+// blocks costs more in fork/join than the scan itself.
+const parBlockFloor = 2048
+
+// CertainStartsBitsPar is CertainStartsBits with each per-position
+// block scan sharded across workers. Shard boundaries are advanced so
+// no two shards write the same word of the frontier bitset (block keys
+// ascend within a relation), making the direct next.Set writes
+// race-free; the result is bit-identical to the sequential DP.
+func CertainStartsBitsPar(iv *instance.Interned, q words.Word, workers int) bitset.Bits {
 	nc := iv.NumConsts()
 	cur := bitset.New(nc)
 	for i := range cur {
@@ -26,17 +41,28 @@ func CertainStartsBits(iv *instance.Interned, q words.Word) bitset.Bits {
 	for i := len(q) - 1; i >= 0; i-- {
 		next.Clear()
 		if rid, ok := iv.RelID(q[i]); ok {
-			for _, bl := range iv.RelBlocks(rid) {
-				all := true
-				for _, y := range bl.Vals {
-					if !cur.Test(int(y)) {
-						all = false
-						break
+			blocks := iv.RelBlocks(rid)
+			scan := func(blocks []instance.InternedBlock) {
+				for _, bl := range blocks {
+					all := true
+					for _, y := range bl.Vals {
+						if !cur.Test(int(y)) {
+							all = false
+							break
+						}
+					}
+					if all {
+						next.Set(int(bl.Key))
 					}
 				}
-				if all {
-					next.Set(int(bl.Key))
-				}
+			}
+			if workers <= 1 || len(blocks) < parBlockFloor {
+				scan(blocks)
+			} else {
+				bounds := blockRanges(blocks, workers)
+				par.Run(len(bounds)-1, func(w int) {
+					scan(blocks[bounds[w]:bounds[w+1]])
+				})
 			}
 		}
 		cur, next = next, cur
@@ -44,14 +70,34 @@ func CertainStartsBits(iv *instance.Interned, q words.Word) bitset.Bits {
 	return cur
 }
 
+// blockRanges cuts a relation's block list into per-worker index
+// ranges whose key-id spans do not share a 64-bit bitset word: each
+// boundary advances past blocks whose Key>>6 equals its predecessor's.
+func blockRanges(blocks []instance.InternedBlock, workers int) []int {
+	bounds := par.Blocks(len(blocks), workers, 1)
+	for i := 1; i < len(bounds)-1; i++ {
+		b := bounds[i]
+		if b < bounds[i-1] {
+			b = bounds[i-1]
+		}
+		for b > 0 && b < len(blocks) && blocks[b].Key>>6 == blocks[b-1].Key>>6 {
+			b++
+		}
+		bounds[i] = b
+	}
+	return bounds
+}
+
 // TerminalBitset returns the constants of the interned view that are
 // terminal for q (Definition 15, computed as ¬ψ per Lemma 17): the
 // complement of CertainStartsBits over the active domain.
 func TerminalBitset(iv *instance.Interned, q words.Word) bitset.Bits {
-	out := CertainStartsBits(iv, q)
-	for i := range out {
-		out[i] = ^out[i]
-	}
-	out.MaskTail(iv.NumConsts())
+	return TerminalBitsetPar(iv, q, 1)
+}
+
+// TerminalBitsetPar is TerminalBitset over the sharded DP.
+func TerminalBitsetPar(iv *instance.Interned, q words.Word, workers int) bitset.Bits {
+	out := CertainStartsBitsPar(iv, q, workers)
+	out.NotFrom(out, iv.NumConsts())
 	return out
 }

@@ -1,0 +1,361 @@
+package instance
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"cqa/internal/par"
+)
+
+// ReadCSVParallel reads an instance from the same CSV format as
+// ReadCSV with a streaming parallel pipeline: a reader goroutine cuts
+// the input into newline-aligned chunks, parse workers turn chunks
+// into fact batches (a manual fast path for unquoted rows, a per-row
+// encoding/csv reader for quoted ones), and a dedup/build stage folds
+// the batches into the instance while the block index and the
+// occurrence counts build on separate goroutines. The finalize step
+// then builds the canonical interned snapshot — id tables from the
+// sorted domain, per-relation block lists, value interning — with the
+// heavy loops sharded, and publishes it, so the first decision after a
+// bulk load starts from a warm snapshot instead of paying a serial
+// O(|db|) intern.
+//
+// The resulting instance is Equal to ReadCSV's: same facts, same block
+// index, same occurrence counts, same interned id order. Malformed
+// input yields the error of the lowest-numbered bad line (message
+// wording may differ from ReadCSV's for unquoted rows). workers <= 0
+// means GOMAXPROCS; workers == 1 delegates to ReadCSV (plus the
+// snapshot pre-build, for parity).
+func ReadCSVParallel(r io.Reader, workers int) (*Instance, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		db, err := ReadCSV(r)
+		if err != nil {
+			return nil, err
+		}
+		db.Interned()
+		return db, nil
+	}
+
+	// First-error tracking: chunks are produced in line order, so the
+	// minimum-line error over all parsed chunks is the true first error.
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		errLine  = -1
+	)
+	fail := func(line int, err error) {
+		errMu.Lock()
+		if errLine < 0 || line < errLine {
+			errLine, firstErr = line, err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errLine >= 0
+	}
+
+	type rawChunk struct {
+		data      []byte
+		firstLine int
+	}
+	rawCh := make(chan rawChunk, workers)
+	factCh := make(chan []Fact, workers)
+
+	// Reader: fixed-size chunks split at the last newline; the partial
+	// trailing line carries into the next chunk. Production stops early
+	// once any stage has failed.
+	const chunkBytes = 1 << 18
+	go func() {
+		defer close(rawCh)
+		line := 1
+		var pending []byte
+		for {
+			buf := make([]byte, len(pending)+chunkBytes)
+			n := copy(buf, pending)
+			m, rerr := io.ReadFull(r, buf[n:])
+			buf = buf[:n+m]
+			if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
+				fail(line, fmt.Errorf("instance: read csv: %w", rerr))
+				return
+			}
+			if rerr != nil { // EOF: flush everything, including a final unterminated line
+				if len(buf) > 0 && !failed() {
+					rawCh <- rawChunk{buf, line}
+				}
+				return
+			}
+			cut := bytes.LastIndexByte(buf, '\n')
+			if cut < 0 {
+				// A single line longer than the chunk: keep growing.
+				pending = buf
+				continue
+			}
+			send := buf[:cut+1]
+			pending = append([]byte(nil), buf[cut+1:]...)
+			if failed() {
+				return
+			}
+			rawCh <- rawChunk{send, line}
+			line += bytes.Count(send, []byte{'\n'})
+		}
+	}()
+
+	// Parse workers.
+	var parseWG sync.WaitGroup
+	parseWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer parseWG.Done()
+			for ch := range rawCh {
+				facts, line, err := parseCSVChunk(ch.data, ch.firstLine)
+				if err != nil {
+					fail(line, err)
+					continue
+				}
+				if len(facts) > 0 && !failed() {
+					factCh <- facts
+				}
+			}
+		}()
+	}
+	go func() {
+		parseWG.Wait()
+		close(factCh)
+	}()
+
+	// Dedup on this goroutine; the block index and the occurrence
+	// counts (replicating Add's accounting exactly) build concurrently
+	// from the deduplicated batches.
+	db := New()
+	blockCh := make(chan []Fact, workers)
+	countCh := make(chan []Fact, workers)
+	var buildWG sync.WaitGroup
+	buildWG.Add(2)
+	go func() {
+		defer buildWG.Done()
+		for fs := range blockCh {
+			for _, f := range fs {
+				id := BlockID{f.Rel, f.Key}
+				db.blocks[id] = append(db.blocks[id], f.Val)
+			}
+		}
+	}()
+	go func() {
+		defer buildWG.Done()
+		for fs := range countCh {
+			for _, f := range fs {
+				if f.Key == f.Val {
+					db.adom[f.Key] += 2
+				} else {
+					db.adom[f.Key]++
+					db.adom[f.Val]++
+				}
+				db.rels[f.Rel]++
+			}
+		}
+	}()
+	for fs := range factCh {
+		uniq := fs[:0]
+		for _, f := range fs {
+			if _, dup := db.facts[f]; !dup {
+				db.facts[f] = struct{}{}
+				uniq = append(uniq, f)
+			}
+		}
+		if len(uniq) > 0 {
+			blockCh <- uniq
+			countCh <- uniq
+		}
+	}
+	close(blockCh)
+	close(countCh)
+	buildWG.Wait()
+
+	if failed() {
+		return nil, firstErr
+	}
+	finalizeBulk(db, workers)
+	return db, nil
+}
+
+// parseCSVChunk parses one newline-aligned chunk. On error it returns
+// the absolute line number of the first bad row in the chunk.
+func parseCSVChunk(data []byte, firstLine int) ([]Fact, int, error) {
+	facts := make([]Fact, 0, len(data)/12)
+	line := firstLine
+	for len(data) > 0 {
+		var row []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			row, data = data[:nl], data[nl+1:]
+		} else {
+			row, data = data, nil
+		}
+		ln := line
+		line++
+		if len(row) > 0 && row[len(row)-1] == '\r' {
+			row = row[:len(row)-1]
+		}
+		// Comment detection matches encoding/csv: the comment rune must
+		// be the line's first byte, untrimmed.
+		if len(row) == 0 || row[0] == '#' {
+			continue
+		}
+		var rel, key, val string
+		if bytes.IndexByte(row, '"') >= 0 {
+			rec, err := parseQuotedRow(row)
+			if err != nil {
+				return nil, ln, fmt.Errorf("instance: read csv: line %d: %w", ln, err)
+			}
+			rel, key, val = rec[0], rec[1], rec[2]
+		} else {
+			// Fast path: no quotes, so the row is exactly three
+			// comma-separated raw fields. One string allocation; the
+			// fields are substrings.
+			s := string(row)
+			c1 := strings.IndexByte(s, ',')
+			var c2 int
+			if c1 < 0 {
+				return nil, ln, fmt.Errorf("instance: read csv: line %d: wrong number of fields in %q", ln, s)
+			}
+			if c2 = strings.IndexByte(s[c1+1:], ','); c2 < 0 {
+				return nil, ln, fmt.Errorf("instance: read csv: line %d: wrong number of fields in %q", ln, s)
+			}
+			c2 += c1 + 1
+			if strings.IndexByte(s[c2+1:], ',') >= 0 {
+				return nil, ln, fmt.Errorf("instance: read csv: line %d: wrong number of fields in %q", ln, s)
+			}
+			rel = strings.TrimSpace(s[:c1])
+			key = strings.TrimSpace(s[c1+1 : c2])
+			val = strings.TrimSpace(s[c2+1:])
+		}
+		if rel == "" || key == "" || val == "" {
+			return nil, ln, fmt.Errorf("instance: line %d: empty field in %q", ln, rel+","+key+","+val)
+		}
+		facts = append(facts, Fact{Rel: rel, Key: key, Val: val})
+	}
+	return facts, 0, nil
+}
+
+// parseQuotedRow parses a single row containing quotes through
+// encoding/csv with ReadCSV's exact configuration.
+func parseQuotedRow(row []byte) ([]string, error) {
+	cr := csv.NewReader(bytes.NewReader(row))
+	cr.Comment = '#'
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	rec, err := cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	for i := range rec {
+		rec[i] = strings.TrimSpace(rec[i])
+	}
+	return rec, nil
+}
+
+// finalizeBulk sorts the bulk-built indexes into the canonical order
+// Add maintains incrementally, builds the interned snapshot, and
+// publishes both. The per-block value sorts, the block partition, and
+// the value interning shard across workers; the id tables (maps) build
+// serially.
+func finalizeBulk(db *Instance, workers int) {
+	// Sorted active domain, overlapped with the per-block value sorts.
+	var adom []string
+	var adomWG sync.WaitGroup
+	adomWG.Add(1)
+	go func() {
+		defer adomWG.Done()
+		adom = make([]string, 0, len(db.adom))
+		for c := range db.adom {
+			adom = append(adom, c)
+		}
+		sort.Strings(adom)
+	}()
+
+	bids := make([]BlockID, 0, len(db.blocks))
+	for id := range db.blocks {
+		bids = append(bids, id)
+	}
+	bb := par.Blocks(len(bids), workers, 1)
+	par.Run(len(bb)-1, func(w int) {
+		for _, id := range bids[bb[w]:bb[w+1]] {
+			vals := db.blocks[id]
+			if !sort.StringsAreSorted(vals) {
+				sort.Strings(vals)
+			}
+		}
+	})
+	adomWG.Wait()
+
+	rels := make([]string, 0, len(db.rels))
+	for r := range db.rels {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+
+	iv := &Interned{
+		consts:  adom,
+		constID: make(map[string]int32, len(adom)),
+		rels:    rels,
+		relID:   make(map[string]int32, len(rels)),
+		blocks:  make([][]InternedBlock, len(rels)),
+		nfacts:  len(db.facts),
+	}
+	for i, s := range adom {
+		iv.constID[s] = int32(i)
+	}
+	for i, r := range rels {
+		iv.relID[r] = int32(i)
+	}
+
+	// Partition the blocks per relation with keys interned, in parallel
+	// (the id maps are read-only now), then sort each relation's blocks
+	// by key id — identical to the root build's (Rel, Key) string order
+	// because ids ascend with the strings.
+	type rawBlock struct {
+		key  int32
+		vals []string
+	}
+	nw := len(bb) - 1
+	parts := make([][][]rawBlock, nw)
+	par.Run(nw, func(w int) {
+		local := make([][]rawBlock, len(rels))
+		for _, id := range bids[bb[w]:bb[w+1]] {
+			rid := iv.relID[id.Rel]
+			local[rid] = append(local[rid], rawBlock{iv.constID[id.Key], db.blocks[id]})
+		}
+		parts[w] = local
+	})
+	for rid := range iv.blocks {
+		var rb []rawBlock
+		for w := 0; w < nw; w++ {
+			rb = append(rb, parts[w][rid]...)
+		}
+		sort.Slice(rb, func(i, j int) bool { return rb[i].key < rb[j].key })
+		out := make([]InternedBlock, len(rb))
+		ob := par.Blocks(len(rb), workers, 1)
+		par.Run(len(ob)-1, func(w int) {
+			for i := ob[w]; i < ob[w+1]; i++ {
+				vals := make([]int32, len(rb[i].vals))
+				for j, v := range rb[i].vals {
+					vals[j] = iv.constID[v]
+				}
+				out[i] = InternedBlock{Key: rb[i].key, Vals: vals}
+			}
+		})
+		iv.blocks[rid] = out
+	}
+
+	db.publish(viewCache{adom: adom, rels: rels, interned: iv})
+}

@@ -30,6 +30,9 @@ func ReadCSV(r io.Reader) (*Instance, error) {
 	cr.Comment = '#'
 	cr.FieldsPerRecord = 3
 	cr.TrimLeadingSpace = true
+	// Records are consumed within the iteration, so the reader may reuse
+	// its field slice — bulk loads stop allocating one []string per fact.
+	cr.ReuseRecord = true
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {

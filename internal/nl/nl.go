@@ -20,11 +20,13 @@
 package nl
 
 import (
-	"cqa/internal/bitset"
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"cqa/internal/automata"
+	"cqa/internal/bitset"
 	"cqa/internal/classify"
 	"cqa/internal/fixpoint"
 	"cqa/internal/fo"
@@ -240,6 +242,12 @@ type Evaluator struct {
 	relsExit map[string]bool
 	relsLoop map[string]bool
 	relsPre  map[string]bool
+
+	// parSolves/parShards count memoized binding builds that ran the
+	// partitioned passes (see IsCertainOpts); surfaced via
+	// ParallelStats together with the sub-solvers' counters.
+	parSolves atomic.Uint64
+	parShards atomic.Uint64
 }
 
 // relSet collects the distinct relation names of a word.
@@ -321,12 +329,37 @@ func (e *Evaluator) SetMemoScale(scale float64) {
 // IsCertain decides CERTAINTY(q) on db with the precompiled machinery,
 // evaluating "∃c ∈ adom(db): ¬O(c)".
 func (e *Evaluator) IsCertain(db *instance.Instance) bool {
+	return e.IsCertainOpts(db, fixpoint.SolveOptions{})
+}
+
+// IsCertainOpts is IsCertain with explicit parallel solve options: when
+// opts engages on db's snapshot (see fixpoint.SolveOptions), the
+// instance-bound stages of a cold evaluation — the exit-word fixpoint,
+// the Lemma 12 terminal DPs, the restricted loop-step graph, and the
+// reverse-reachability pass behind P and O — shard across opts.Workers
+// (Tarjan's SCC pass stays sequential). Warm calls hit the per-snapshot
+// memo either way; the memoized artifacts are identical to the
+// single-core path's.
+func (e *Evaluator) IsCertainOpts(db *instance.Instance, opts fixpoint.SolveOptions) bool {
 	if len(e.q) == 0 {
 		return true
 	}
-	o, iv := e.computeOBits(db)
+	o, iv := e.computeOBits(db, opts)
 	// Certain iff some adom constant has its O bit clear.
 	return o.Count() < iv.NumConsts()
+}
+
+// ParallelStats aggregates the partitioned-path counters of the
+// evaluator's own binding builds and its fixpoint sub-solvers.
+func (e *Evaluator) ParallelStats() fixpoint.ParallelStats {
+	s := fixpoint.ParallelStats{Solves: e.parSolves.Load(), Shards: e.parShards.Load()}
+	if e.whole != nil {
+		s = s.Add(e.whole.ParallelStats())
+	}
+	if e.exit != nil {
+		s = s.Add(e.exit.ParallelStats())
+	}
+	return s
 }
 
 // IsCertain decides CERTAINTY(q) for a C2 query via the Lemma 14
@@ -347,7 +380,7 @@ func IsCertain(db *instance.Instance, q words.Word) (bool, *Decomposition, error
 // evaluator computes; callers on hot paths should use Evaluator
 // directly.
 func ComputeO(db *instance.Instance, d *Decomposition) map[string]bool {
-	o, iv := newEvaluator(d.queryWord(), d).computeOBits(db)
+	o, iv := newEvaluator(d.queryWord(), d).computeOBits(db, fixpoint.SolveOptions{})
 	out := make(map[string]bool, iv.NumConsts())
 	for c := 0; c < iv.NumConsts(); c++ {
 		out[iv.Const(int32(c))] = o.Test(c)
@@ -402,7 +435,11 @@ func nlBindingBytes(b *nlBinding) int64 {
 // dependency sets meet the touched blocks are recomputed — with an
 // equality cut: a recomputed stage that comes out identical to the
 // parent's stops the downstream cascade.
-func (e *Evaluator) bind(iv *instance.Interned) *nlBinding {
+func (e *Evaluator) bind(iv *instance.Interned, opts fixpoint.SolveOptions) *nlBinding {
+	workers := 1
+	if opts.Engaged(iv) {
+		workers = opts.Workers
+	}
 	return e.bindings.GetOrRepair(iv,
 		func(peek func(*instance.Interned) (*nlBinding, bool)) (*nlBinding, int, bool) {
 			var found *nlBinding
@@ -417,16 +454,16 @@ func (e *Evaluator) bind(iv *instance.Interned) *nlBinding {
 				return nil, 0, false
 			}
 			hops := iv.LineageDepth() - parent.LineageDepth()
-			return e.repairBinding(found, iv, touched), hops, true
+			return e.repairBinding(found, iv, touched, opts, workers), hops, true
 		},
-		func() *nlBinding { return e.buildBinding(iv) })
+		func() *nlBinding { return e.buildBinding(iv, opts, workers) })
 }
 
 // repairBinding derives iv's binding from an ancestor's along the
 // touched block set. Each stage is recomputed only when a touched
 // block's relation is in its dependency set or an upstream stage it
 // reads actually changed; untouched stages alias the parent's slices.
-func (e *Evaluator) repairBinding(parent *nlBinding, iv *instance.Interned, touched []instance.BlockRef) *nlBinding {
+func (e *Evaluator) repairBinding(parent *nlBinding, iv *instance.Interned, touched []instance.BlockRef, opts fixpoint.SolveOptions, workers int) *nlBinding {
 	touchExit, touchLoop, touchPre := false, false, false
 	for _, t := range touched {
 		rel := iv.Rel(t.Rel)
@@ -443,14 +480,14 @@ func (e *Evaluator) repairBinding(parent *nlBinding, iv *instance.Interned, touc
 
 	avoidChanged := false
 	if touchExit {
-		b.avoid = e.computeAvoid(iv)
+		b.avoid = e.computeAvoid(iv, opts)
 		avoidChanged = !b.avoid.Equal(parent.avoid)
 	} else {
 		b.avoid = parent.avoid
 	}
 
 	if touchLoop {
-		b.loopTerminal = fo.TerminalBitset(iv, e.d.Loop)
+		b.loopTerminal = fo.TerminalBitsetPar(iv, e.d.Loop, workers)
 	} else {
 		b.loopTerminal = parent.loopTerminal
 	}
@@ -460,15 +497,15 @@ func (e *Evaluator) repairBinding(parent *nlBinding, iv *instance.Interned, touc
 		// The restricted graph reads the loop relations' blocks
 		// directly (WalkEnds), so a touched loop block forces a graph
 		// rebuild even when the terminal DP came out unchanged.
-		b.adjStart, b.adjList = e.computeGraph(iv, b.avoid)
-		b.p = e.computeP(b)
+		b.adjStart, b.adjList = e.computeGraphW(iv, b.avoid, workers)
+		b.p = e.computeP(b, workers)
 		pChanged = !b.p.Equal(parent.p)
 	} else {
 		b.adjStart, b.adjList, b.p = parent.adjStart, parent.adjList, parent.p
 	}
 
 	if touchPre || pChanged {
-		b.o = e.computeO(iv, b.p)
+		b.o = e.computeOW(iv, b.p, workers)
 	} else {
 		b.o = parent.o
 	}
@@ -477,21 +514,20 @@ func (e *Evaluator) repairBinding(parent *nlBinding, iv *instance.Interned, touc
 
 // computeOBits computes the predicate O as a bitset over the interned
 // constant ids of db's current snapshot.
-func (e *Evaluator) computeOBits(db *instance.Instance) (bitset.Bits, *instance.Interned) {
+func (e *Evaluator) computeOBits(db *instance.Instance, opts fixpoint.SolveOptions) (bitset.Bits, *instance.Interned) {
 	iv := db.Interned()
 	if e.d.Loop.IsEmpty() {
 		// Pure word (sjf or loop-free exit): O(c) = c terminal for the
 		// whole word, equivalently ¬(every repair has an accepted path
-		// from c), computed by the fixpoint sub-solver on the word.
-		sb := e.whole.SolveInterned(iv).StartBits()
+		// from c), computed by the fixpoint sub-solver on the word. The
+		// background context cannot fail the entry check, so the error
+		// is structurally nil.
+		res, _ := e.whole.SolveInternedCtx(context.Background(), iv, opts)
 		o := bitset.New(iv.NumConsts())
-		for i := range o {
-			o[i] = ^sb[i]
-		}
-		o.MaskTail(iv.NumConsts())
+		o.NotFrom(res.StartBits(), iv.NumConsts())
 		return o, iv
 	}
-	return e.bind(iv).o, iv
+	return e.bind(iv, opts).o, iv
 }
 
 // buildBinding runs the instance-bound half of the Lemma 14 procedure
@@ -500,14 +536,18 @@ func (e *Evaluator) computeOBits(db *instance.Instance) (bitset.Bits, *instance.
 // reachability (P), and finally O via consistent pre-paths. Everything
 // is derived from iv alone, so the memoized result can never mix two
 // snapshots. The stages are the repair granularity of repairBinding.
-func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
-	b := &nlBinding{
-		avoid:        e.computeAvoid(iv),
-		loopTerminal: fo.TerminalBitset(iv, e.d.Loop),
+func (e *Evaluator) buildBinding(iv *instance.Interned, opts fixpoint.SolveOptions, workers int) *nlBinding {
+	if workers > 1 {
+		e.parSolves.Add(1)
+		e.parShards.Add(uint64(workers))
 	}
-	b.adjStart, b.adjList = e.computeGraph(iv, b.avoid)
-	b.p = e.computeP(b)
-	b.o = e.computeO(iv, b.p)
+	b := &nlBinding{
+		avoid:        e.computeAvoid(iv, opts),
+		loopTerminal: fo.TerminalBitsetPar(iv, e.d.Loop, workers),
+	}
+	b.adjStart, b.adjList = e.computeGraphW(iv, b.avoid, workers)
+	b.p = e.computeP(b, workers)
+	b.o = e.computeOW(iv, b.p, workers)
 	return b
 }
 
@@ -517,14 +557,12 @@ func (e *Evaluator) buildBinding(iv *instance.Interned) *nlBinding {
 // Lemma 6, which minimizes start sets for all constants
 // simultaneously), this is the complement of the fixpoint relation
 // ⟨d, ε⟩ for the exit word. An empty exit cannot be avoided.
-func (e *Evaluator) computeAvoid(iv *instance.Interned) bitset.Bits {
+func (e *Evaluator) computeAvoid(iv *instance.Interned, opts fixpoint.SolveOptions) bitset.Bits {
 	nc := iv.NumConsts()
 	avoid := bitset.New(nc)
 	if e.exit != nil {
-		for i, w := range e.exit.SolveInterned(iv).StartBits() {
-			avoid[i] = ^w
-		}
-		avoid.MaskTail(nc)
+		res, _ := e.exit.SolveInternedCtx(context.Background(), iv, opts)
+		avoid.NotFrom(res.StartBits(), nc)
 	}
 	return avoid
 }
@@ -557,7 +595,7 @@ func (e *Evaluator) computeGraph(iv *instance.Interned, avoid bitset.Bits) (adjS
 // the loop word is self-join-free, so the Lemma 12 DP is exact) plus
 // the vertices on cycles of the restricted graph (dℓ ∈ {d0..dℓ-1});
 // P is reverse reachability from the targets.
-func (e *Evaluator) computeP(b *nlBinding) bitset.Bits {
+func (e *Evaluator) computeP(b *nlBinding, workers int) bitset.Bits {
 	targets := bitset.New(len(b.avoid) << 6)
 	for i := range targets {
 		targets[i] = b.avoid[i] & b.loopTerminal[i]
@@ -565,7 +603,7 @@ func (e *Evaluator) computeP(b *nlBinding) bitset.Bits {
 	for _, c := range cycleVertices(b.adjStart, b.adjList) {
 		targets.Set(int(c))
 	}
-	return reverseReach(b.adjStart, b.adjList, targets)
+	return reverseReachW(b.adjStart, b.adjList, targets, workers)
 }
 
 // computeO derives the predicate O: O(c) = c terminal for pre, or some

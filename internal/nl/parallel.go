@@ -1,0 +1,147 @@
+package nl
+
+import (
+	"sync/atomic"
+
+	"cqa/internal/bitset"
+	"cqa/internal/fo"
+	"cqa/internal/instance"
+	"cqa/internal/par"
+)
+
+// Partitioned variants of the instance-bound Lemma 14 stages. Each
+// wrapper dispatches to the unchanged sequential implementation for
+// workers <= 1 (the single-core path must stay byte-for-byte what it
+// was) and to a constant-range-sharded variant otherwise; both produce
+// identical artifacts, so a memo entry never records which path built
+// it. Tarjan's SCC pass (cycleVertices) is inherently order-dependent
+// and stays sequential — everything around it shards.
+
+// parEdgeFloor is the edge-count floor below which the reverse-CSR
+// build stays sequential: atomic counting over a few thousand edges
+// costs more than the serial counting sort.
+const parEdgeFloor = 4096
+
+// computeGraphW dispatches computeGraph by worker count.
+func (e *Evaluator) computeGraphW(iv *instance.Interned, avoid bitset.Bits, workers int) ([]int32, []int32) {
+	if workers <= 1 {
+		return e.computeGraph(iv, avoid)
+	}
+	return e.computeGraphPar(iv, avoid, workers)
+}
+
+// computeGraphPar builds the restricted loop-step CSR with a
+// two-pass scheme: workers walk disjoint constant ranges writing each
+// constant's out-degree into adjStart[c+1] (disjoint indices) and its
+// edges into a worker-local buffer; a serial prefix sum then fixes the
+// offsets and each worker's buffer is copied into its contiguous
+// segment. The CSR is identical to the sequential build's.
+func (e *Evaluator) computeGraphPar(iv *instance.Interned, avoid bitset.Bits, workers int) ([]int32, []int32) {
+	nc := iv.NumConsts()
+	loopRels := iv.InternWord(e.d.Loop)
+	adjStart := make([]int32, nc+1)
+	bounds := par.Blocks(nc, workers, 1)
+	nw := len(bounds) - 1
+	bufs := make([][]int32, nw)
+	par.Run(nw, func(w int) {
+		var buf instance.WalkBuf
+		var out []int32
+		for c := bounds[w]; c < bounds[w+1]; c++ {
+			deg := 0
+			if avoid.Test(c) {
+				for _, end := range iv.WalkEnds(int32(c), loopRels, &buf) {
+					if avoid.Test(int(end)) {
+						out = append(out, end)
+						deg++
+					}
+				}
+			}
+			adjStart[c+1] = int32(deg)
+		}
+		bufs[w] = out
+	})
+	for c := 0; c < nc; c++ {
+		adjStart[c+1] += adjStart[c]
+	}
+	adjList := make([]int32, adjStart[nc])
+	par.Run(nw, func(w int) {
+		copy(adjList[adjStart[bounds[w]]:], bufs[w])
+	})
+	return adjStart, adjList
+}
+
+// computeOW dispatches computeO by worker count: the pre-word terminal
+// DP shards block-wise, and the per-constant consistent-path searches
+// — independent by construction — shard by 64-aligned constant ranges
+// so the o.Set writes stay word-disjoint.
+func (e *Evaluator) computeOW(iv *instance.Interned, p bitset.Bits, workers int) bitset.Bits {
+	if workers <= 1 {
+		return e.computeO(iv, p)
+	}
+	nc := iv.NumConsts()
+	preRels := iv.InternWord(e.d.Pre)
+	o := fo.TerminalBitsetPar(iv, e.d.Pre, workers)
+	bounds := par.Blocks(nc, workers, 64)
+	par.Run(len(bounds)-1, func(w int) {
+		for c := bounds[w]; c < bounds[w+1]; c++ {
+			if o.Test(c) {
+				continue
+			}
+			if consistentEndReaches(iv, preRels, int32(c), p) {
+				o.Set(c)
+			}
+		}
+	})
+	return o
+}
+
+// reverseReachW dispatches reverseReach by worker count. The parallel
+// variant builds the reverse CSR with atomically counted in-degrees
+// and atomic fill cursors (edge order within a vertex's reverse list
+// is nondeterministic, but the BFS result is a set, so P is
+// deterministic either way); the BFS itself stays sequential — it is
+// linear in edges already visited and rarely dominates.
+func reverseReachW(adjStart, adjList []int32, targets bitset.Bits, workers int) bitset.Bits {
+	if workers <= 1 || len(adjList) < parEdgeFloor {
+		return reverseReach(adjStart, adjList, targets)
+	}
+	n := len(adjStart) - 1
+	p := make(bitset.Bits, len(targets))
+	copy(p, targets)
+	revStart := make([]int32, n+1)
+	eb := par.Blocks(len(adjList), workers, 1)
+	par.Run(len(eb)-1, func(w int) {
+		for _, t := range adjList[eb[w]:eb[w+1]] {
+			atomic.AddInt32(&revStart[t+1], 1)
+		}
+	})
+	for i := 0; i < n; i++ {
+		revStart[i+1] += revStart[i]
+	}
+	revList := make([]int32, len(adjList))
+	cursor := make([]int32, n)
+	copy(cursor, revStart[:n])
+	vb := par.Blocks(n, workers, 1)
+	par.Run(len(vb)-1, func(w int) {
+		for v := vb[w]; v < vb[w+1]; v++ {
+			for ei := adjStart[v]; ei < adjStart[v+1]; ei++ {
+				t := adjList[ei]
+				slot := atomic.AddInt32(&cursor[t], 1) - 1
+				revList[slot] = int32(v)
+			}
+		}
+	})
+	queue := make([]int32, 0, 16)
+	targets.ForEach(func(c int) { queue = append(queue, int32(c)) })
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		for ei := revStart[c]; ei < revStart[c+1]; ei++ {
+			a := revList[ei]
+			if !p.Test(int(a)) {
+				p.Set(int(a))
+				queue = append(queue, a)
+			}
+		}
+	}
+	return p
+}

@@ -3,6 +3,7 @@ package nl
 import (
 	"testing"
 
+	"cqa/internal/fixpoint"
 	"cqa/internal/instance"
 	"cqa/internal/words"
 )
@@ -67,7 +68,7 @@ func TestNLRepairSharesUntouchedBinding(t *testing.T) {
 	}
 	db := nlChurnInstance()
 	iv1 := db.Interned()
-	b1 := ev.bind(iv1)
+	b1 := ev.bind(iv1, fixpoint.SolveOptions{})
 
 	// Relation Y is outside pre, loop, and exit of RRX's decomposition:
 	// the mutation reaches no slice, so the binding carries over whole.
@@ -76,14 +77,14 @@ func TestNLRepairSharesUntouchedBinding(t *testing.T) {
 	if iv2.Delta() == nil {
 		t.Fatalf("in-universe mutation should delta-intern")
 	}
-	b2 := ev.bind(iv2)
+	b2 := ev.bind(iv2, fixpoint.SolveOptions{})
 	if b2 != b1 {
 		t.Errorf("binding must be shared when no dependency relation is touched")
 	}
 
 	// A mutation in X (exit only) reuses the loop-terminal stage.
 	db.AddFact("X", "b", "e")
-	b3 := ev.bind(db.Interned())
+	b3 := ev.bind(db.Interned(), fixpoint.SolveOptions{})
 	if b3 == b2 {
 		t.Errorf("exit-relation mutation must produce a new binding")
 	}

@@ -1,0 +1,58 @@
+// Package par holds the tiny fork-join primitives shared by the
+// partitioned solver passes: run a fixed-size worker set and cut an
+// index space into aligned contiguous ranges. It deliberately has no
+// channels, pools, or scheduling — the parallel passes are
+// round-synchronous over dense id ranges, so plain goroutines with a
+// WaitGroup per phase are both the simplest and the fastest shape.
+package par
+
+import "sync"
+
+// Run invokes f(0) .. f(workers-1) concurrently and returns when all
+// have finished. f(0) runs on the calling goroutine, so Run(1, f) has
+// no synchronization cost at all and is exactly a sequential call.
+func Run(workers int, f func(w int)) {
+	if workers <= 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	f(0)
+	wg.Wait()
+}
+
+// Blocks cuts [0, n) into at most parts contiguous ranges and returns
+// the boundary slice: range w is [bounds[w], bounds[w+1]). Every
+// interior boundary is rounded up to a multiple of align (use 64 to
+// make per-range bitset spans word-disjoint), so trailing ranges may
+// be empty but the boundaries are always non-decreasing and the last
+// is n. At least one range is returned, even for n == 0.
+func Blocks(n, parts, align int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if align < 1 {
+		align = 1
+	}
+	bounds := make([]int, parts+1)
+	per := (n + parts - 1) / parts
+	// Round the per-range width up to the alignment so interior
+	// boundaries stay aligned.
+	per = (per + align - 1) / align * align
+	for w := 1; w < parts; w++ {
+		b := bounds[w-1] + per
+		if b > n {
+			b = n
+		}
+		bounds[w] = b
+	}
+	bounds[parts] = n
+	return bounds
+}

@@ -1,0 +1,47 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllWorkers(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		var mask atomic.Uint64
+		Run(workers, func(w int) { mask.Or(1 << uint(w)) })
+		want := uint64(1)
+		if workers > 1 {
+			want = 1<<uint(workers) - 1
+		}
+		if got := mask.Load(); got != want {
+			t.Fatalf("Run(%d): worker mask %b, want %b", workers, got, want)
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	cases := []struct {
+		n, parts, align int
+	}{
+		{0, 4, 64}, {1, 4, 64}, {63, 4, 64}, {64, 4, 64}, {65, 4, 64},
+		{1000, 4, 64}, {1000, 1, 64}, {1000, 16, 1}, {5, 16, 64},
+		{12345, 7, 64}, {128, 2, 64},
+	}
+	for _, c := range cases {
+		bounds := Blocks(c.n, c.parts, c.align)
+		if len(bounds) < 2 {
+			t.Fatalf("Blocks(%d,%d,%d): want at least one range, got %v", c.n, c.parts, c.align, bounds)
+		}
+		if bounds[0] != 0 || bounds[len(bounds)-1] != c.n {
+			t.Fatalf("Blocks(%d,%d,%d): endpoints %v", c.n, c.parts, c.align, bounds)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("Blocks(%d,%d,%d): not monotone: %v", c.n, c.parts, c.align, bounds)
+			}
+			if i < len(bounds)-1 && bounds[i]%c.align != 0 && bounds[i] != c.n {
+				t.Fatalf("Blocks(%d,%d,%d): interior boundary %d not aligned: %v", c.n, c.parts, c.align, bounds[i], bounds)
+			}
+		}
+	}
+}

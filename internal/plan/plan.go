@@ -93,6 +93,20 @@ type Options struct {
 	// no-instances even when the chosen tier does not produce one as a
 	// byproduct.
 	WantCounterexample bool
+	// SolveWorkers and ParallelThreshold tune intra-query parallelism
+	// for the interned tiers (fixpoint and NL): instances with at least
+	// ParallelThreshold facts solve on SolveWorkers partitioned shards.
+	// The zero values keep every decision on the single-core path; the
+	// engine substitutes its configured defaults before dispatch. See
+	// fixpoint.SolveOptions.
+	SolveWorkers      int
+	ParallelThreshold int
+}
+
+// solveOptions projects the parallelism knobs for the fixpoint/NL
+// solvers.
+func (o Options) solveOptions() fixpoint.SolveOptions {
+	return fixpoint.SolveOptions{Workers: o.SolveWorkers, Threshold: o.ParallelThreshold}
 }
 
 // Plan is the compiled form of CERTAINTY(q) for one path query q:
@@ -255,6 +269,26 @@ func (p *Plan) MemoStats() memo.Stats {
 	return s
 }
 
+// ParallelStats is re-exported so engine-level aggregation needn't
+// import the fixpoint package.
+type ParallelStats = fixpoint.ParallelStats
+
+// ParallelStats aggregates the partitioned-path counters of every tier
+// the plan has built so far: fixpoint solves that engaged the sharded
+// worklist, and NL artifact builds that ran the sharded Lemma 14
+// stages. Zero everywhere means every decision took the single-core
+// path — either below the threshold or with parallelism off.
+func (p *Plan) ParallelStats() ParallelStats {
+	var s ParallelStats
+	if p.nlBuilt.Load() && p.nlErr == nil {
+		s = s.Add(p.nlEval.ParallelStats())
+	}
+	if p.fpBuilt.Load() {
+		s = s.Add(p.fp.ParallelStats())
+	}
+	return s
+}
+
 // SetMemoScale sets every built tier's per-snapshot memo to scale ×
 // its compile-time default byte budget — the engine fans the serving
 // layer's soft-memory watermark out through this. Shrinking evicts LRU
@@ -293,11 +327,14 @@ func (p *Plan) Execute(db *instance.Instance, opts Options) (Result, error) {
 }
 
 // ExecuteCtx is Execute bounded by a context: the context is checked
-// before dispatch, and the SAT tier — the only one whose per-decision
+// before dispatch, the SAT tier — the only one whose per-decision
 // work is worst-case exponential — polls it inside the CDCL search
-// loop, so canceling the context releases a caller stuck in a hard
-// coNP decision. The interned-tier decisions (FO, NL, fixpoint) run in
-// micro-seconds and are not interrupted mid-solve. On cancellation the
+// loop, and a fixpoint solve that engages the partitioned parallel
+// path (see Options.SolveWorkers) polls it between rounds, so
+// canceling the context releases a caller stuck in a hard coNP
+// decision or a giant-instance solve. The remaining interned-tier
+// decisions run in micro-seconds and are not interrupted mid-solve.
+// On cancellation the
 // context's error is returned and the result carries no decision; the
 // compiled artifacts and memoized solver state survive, so a retry
 // resumes warm.
@@ -326,7 +363,10 @@ func (p *Plan) ExecuteCtx(ctx context.Context, db *instance.Instance, opts Optio
 		if err != nil {
 			// Certified decomposition unavailable: fall back to the
 			// fixpoint tier (correct for all C3 ⊇ C2 queries).
-			fp := p.fixpoint().Solve(db)
+			fp, serr := p.fixpoint().SolveInternedCtx(ctx, db.Interned(), opts.solveOptions())
+			if serr != nil {
+				return res, serr
+			}
 			res.Method = MethodFixpoint
 			res.Certain = fp.Certain
 			res.Note = "nl fallback: " + err.Error()
@@ -336,10 +376,13 @@ func (p *Plan) ExecuteCtx(ctx context.Context, db *instance.Instance, opts Optio
 			break
 		}
 		res.Method = MethodNL
-		res.Certain = eval.IsCertain(db)
+		res.Certain = eval.IsCertainOpts(db, opts.solveOptions())
 		res.Note = p.nlNote
 	case MethodFixpoint:
-		fp := p.fixpoint().Solve(db)
+		fp, serr := p.fixpoint().SolveInternedCtx(ctx, db.Interned(), opts.solveOptions())
+		if serr != nil {
+			return res, serr
+		}
 		res.Method = MethodFixpoint
 		res.Certain = fp.Certain
 		if fp.Certain && len(fp.Starts) > 0 {

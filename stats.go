@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cqa/internal/memo"
+	"cqa/internal/plan"
 )
 
 // Stats is the engine's unified counter snapshot: one tree covering the
@@ -18,6 +19,12 @@ import (
 type Stats struct {
 	Plans PlanStats `json:"plans"`
 	Memo  MemoStats `json:"memo"`
+	// Parallel counts decisions that engaged the partitioned
+	// fixpoint/NL solver (see EngineConfig.SolveWorkers): Solves is the
+	// number of solves or memoized NL builds that took the sharded
+	// path, Shards the total constant-range shards they dispatched.
+	// Zero everywhere means every decision ran single-core.
+	Parallel ParallelStats `json:"parallel"`
 	// Panics counts evaluation panics recovered into per-request errors
 	// at the engine's context-aware entry points (see ErrPanic); on a
 	// healthy deployment it stays zero.
@@ -66,6 +73,11 @@ type MemoStats struct {
 	MaxLineageDepth uint64 `json:"max_lineage_depth"`
 }
 
+// ParallelStats are the partitioned-solver counters, re-exported from
+// the plan layer (which aliases the fixpoint package's type, keeping
+// one definition and one set of JSON tags).
+type ParallelStats = plan.ParallelStats
+
 // memoStatsFrom converts the internal memo counters, materializing the
 // derived ColdBuilds so every renderer (String, JSON, /metrics) agrees
 // on it.
@@ -99,21 +111,24 @@ func (e *Engine) Stats() Stats {
 	for el := e.order.Front(); el != nil; el = el.Next() {
 		if entry := el.Value.(*cacheEntry); entry.done.Load() {
 			m = m.Add(entry.plan.MemoStats())
+			s.Parallel = s.Parallel.Add(entry.plan.ParallelStats())
 		}
 	}
 	s.Memo = memoStatsFrom(m)
 	return s
 }
 
-// String renders the snapshot as two human-readable lines, one per
+// String renders the snapshot as three human-readable lines, one per
 // subtree — the format `cqa batch -stats` prints (with a "# " comment
 // prefix) and the serve daemon logs on drain.
 func (s Stats) String() string {
 	return fmt.Sprintf(
 		"plans: %d compiled, %d cached, %d hits / %d misses, %d shards\n"+
-			"memo: %d hits, %d repairs, %d cold builds, max lineage depth %d",
+			"memo: %d hits, %d repairs, %d cold builds, max lineage depth %d\n"+
+			"parallel: %d solves, %d shards",
 		s.Plans.Compiles, s.Plans.Entries, s.Plans.Hits, s.Plans.Misses, s.Plans.Shards,
-		s.Memo.Hits, s.Memo.Repairs, s.Memo.ColdBuilds, s.Memo.MaxLineageDepth)
+		s.Memo.Hits, s.Memo.Repairs, s.Memo.ColdBuilds, s.Memo.MaxLineageDepth,
+		s.Parallel.Solves, s.Parallel.Shards)
 }
 
 // Counter is one named monotonic counter of a Stats snapshot.
@@ -137,6 +152,8 @@ func (s Stats) Counters() []Counter {
 		{"memo_repairs", s.Memo.Repairs},
 		{"memo_cold_builds", s.Memo.ColdBuilds},
 		{"memo_max_lineage_depth", s.Memo.MaxLineageDepth},
+		{"parallel_solves", s.Parallel.Solves},
+		{"parallel_shards", s.Parallel.Shards},
 		{"panics", s.Panics},
 	}
 }
