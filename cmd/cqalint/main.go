@@ -1,0 +1,56 @@
+// Command cqalint runs the repo's custom analyzer suite (see
+// internal/lint) over the given package patterns and exits non-zero if
+// any finding survives the `//cqalint:allow` directives.
+//
+// Usage:
+//
+//	go run ./cmd/cqalint ./...
+//	go run ./cmd/cqalint ./internal/memo ./internal/plan
+//
+// With no arguments it lints the whole module. Findings print as
+// file:line:col: [analyzer] message. Pass -list to print the analyzer
+// registry instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cqa/internal/lint"
+	"cqa/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, modPath, err := load.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqalint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(load.New(root, modPath), patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqalint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cqalint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -54,6 +54,7 @@ package conp
 
 import (
 	"context"
+	"slices"
 	"sort"
 	"sync"
 
@@ -678,14 +679,6 @@ func (c *Compiled) patch(pe *encoding, iv *instance.Interned, touched []instance
 		added      []int32 // value ids to splice in
 		removedVar []int32 // variables of removed values
 	}
-	contains := func(xs []int32, v int32) bool {
-		for _, x := range xs {
-			if x == v {
-				return true
-			}
-		}
-		return false
-	}
 	edits := make([]blockEdit, 0, len(touched))
 	needPurge := false
 	for _, ref := range touched {
@@ -699,7 +692,7 @@ func (c *Compiled) patch(pe *encoding, iv *instance.Interned, touched []instance
 		}
 		ed := blockEdit{key64: blockKey64(ref.Rel, ref.Key), rid: ref.Rel, key: ref.Key}
 		for j, v := range vals {
-			if contains(bl.Vals, v) {
+			if slices.Contains(bl.Vals, v) {
 				ed.vals = append(ed.vals, v)
 				ed.vars = append(ed.vars, vars[j])
 			} else {
@@ -707,7 +700,7 @@ func (c *Compiled) patch(pe *encoding, iv *instance.Interned, touched []instance
 			}
 		}
 		for _, v := range bl.Vals {
-			if !contains(vals, v) {
+			if !slices.Contains(vals, v) {
 				ed.added = append(ed.added, v)
 			}
 		}

@@ -71,6 +71,7 @@ func (cp *Compiled) SolveInternedCtx(ctx context.Context, iv *instance.Interned,
 		return nil, err
 	}
 	if len(cp.q) == 0 || !opts.Engaged(iv) {
+		//cqalint:allow ctxpropagate non-engaged fallback is the documented single-core path; ctx was polled at entry and the memoized binding must not observe cancellation mid-build
 		return cp.SolveInterned(iv), nil
 	}
 	return cp.solveParallel(ctx, iv, opts.Workers)

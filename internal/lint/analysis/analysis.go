@@ -1,0 +1,54 @@
+// Package analysis is a minimal, dependency-free implementation of the
+// core golang.org/x/tools/go/analysis driver API: an Analyzer is a named
+// check with a Run function, a Pass hands it one type-checked package,
+// and diagnostics are reported through the Pass.
+//
+// The container this repo builds in has no module proxy access and no
+// vendored x/tools, so the real framework cannot be imported; this shim
+// keeps the same shape (Analyzer{Name, Doc, Run}, Pass.Reportf) so the
+// cqalint analyzers port to the upstream API mechanically if the
+// dependency ever becomes available. Facts, SuggestedFixes, and
+// cross-analyzer Requires are intentionally out of scope — none of the
+// cqalint analyzers need them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// `//cqalint:allow <name> <reason>` suppression directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic to the driver (which applies the
+	// suppression directives before surfacing it).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

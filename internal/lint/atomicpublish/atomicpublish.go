@@ -1,0 +1,136 @@
+// Package atomicpublish flags struct fields that are accessed both
+// through sync/atomic operations and through plain reads or writes.
+//
+// The engine's publication protocol depends on fields having exactly
+// one access discipline: the snapshot publish CAS, the build-once memo
+// flags, and the admission counters are all correct only because every
+// access goes through sync/atomic. A field that is atomic in one place
+// and plain in another has no happens-before edge between the two
+// sides — the plain side can observe a torn or stale value, and the
+// race detector only trips if a soak happens to interleave the two.
+// The safe patterns are (a) the typed atomics (atomic.Uint64,
+// atomic.Pointer, ...), which make plain access impossible, or (b)
+// address-taken sync/atomic calls on every access.
+//
+// The analyzer is package-local and two-pass: pass one records every
+// struct field whose address is passed to a sync/atomic function, pass
+// two reports every other (plain) use of those fields. Fields of the
+// typed atomic wrappers need no checking and get none.
+package atomicpublish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cqa/internal/lint/analysis"
+)
+
+// Analyzer flags mixed atomic/plain field access.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpublish",
+	Doc:  "a field accessed via sync/atomic must never also be read or written plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: fields used as &x.f arguments to sync/atomic calls, plus
+	// the exact selector nodes of those uses (so pass 2 can skip them).
+	atomicFields := make(map[*types.Var]token.Pos)
+	atomicUses := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods of the typed atomics (atomic.Uint64.Add, ...)
+				// are safe by construction; only the address-taking
+				// package-level functions create a mixed-access hazard.
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			fieldSel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := fieldVar(pass, fieldSel); fld != nil {
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = ue.Pos()
+				}
+				atomicUses[fieldSel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other use of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			fld := fieldVar(pass, sel)
+			if fld == nil {
+				return true
+			}
+			if firstAtomic, ok := atomicFields[fld]; ok {
+				pass.Reportf(sel.Pos(), "plain access of field %s, which is accessed atomically at %s; mixed access has no happens-before edge (use sync/atomic everywhere, or an atomic.%s-style typed field)",
+					fld.Name(), pass.Fset.Position(firstAtomic), suggestedType(fld))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok {
+			obj = s.Obj()
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// suggestedType names the typed atomic matching the field's type, for
+// the diagnostic.
+func suggestedType(fld *types.Var) string {
+	if b, ok := fld.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Value"
+}

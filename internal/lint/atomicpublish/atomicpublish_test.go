@@ -1,0 +1,12 @@
+package atomicpublish_test
+
+import (
+	"testing"
+
+	"cqa/internal/lint/atomicpublish"
+	"cqa/internal/lint/lintest"
+)
+
+func TestAtomicPublish(t *testing.T) {
+	lintest.Run(t, "testdata/src/atomicpublish", atomicpublish.Analyzer)
+}

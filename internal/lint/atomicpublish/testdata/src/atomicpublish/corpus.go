@@ -1,0 +1,38 @@
+// Package atomicdata is the atomicpublish analyzer test corpus: fields
+// reached by address-taking sync/atomic calls must have no plain reads
+// or writes anywhere in the package; typed atomics and never-atomic
+// fields stay exempt.
+package atomicdata
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	flag  uint32
+	plain int
+	typed atomic.Uint64
+}
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint32(&c.flag, 1)
+	c.typed.Add(1)
+	c.plain++
+}
+
+func (c *counters) mixed() uint64 {
+	c.hits++         // want "plain access of field hits"
+	if c.flag == 1 { // want "plain access of field flag"
+		return c.hits // want "plain access of field hits"
+	}
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) cleanReads() (int, uint64) {
+	return c.plain, c.typed.Load()
+}
+
+func (c *counters) suppressedRead() uint64 {
+	//cqalint:allow atomicpublish corpus fixture proving the allow directive filters this finding
+	return c.hits
+}

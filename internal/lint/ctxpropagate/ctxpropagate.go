@@ -1,0 +1,149 @@
+// Package ctxpropagate flags dropped contexts on the evaluation path.
+//
+// Every long-running entry point in the engine has a context-aware twin
+// (Execute/ExecuteCtx, IsCertain/IsCertainCtx, SolveAssuming/
+// SolveAssumingCtx, ...); the serving layer's deadlines, two-lane
+// admission control, and queue shedding only work because the context
+// is threaded from the HTTP handler down to the SAT search loop. A
+// function that holds a context but calls a callee's context-free form
+// when a ...Ctx twin exists silently detaches everything below it from
+// the caller's deadline — exactly the failure the admission-control
+// soak cannot catch unless the dropped call happens to run long.
+//
+// The analyzer applies inside the evaluation-path packages (matched by
+// package name: cqa, plan, fixpoint, nl, conp, sat, server): within any
+// function (or closure chain) that has a context.Context parameter, a
+// call to X is flagged when an XCtx sibling exists — same receiver type
+// for methods, same package for functions — whose first parameter is a
+// context.Context. The context-free wrappers themselves (which have no
+// ctx parameter) are exempt by construction.
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cqa/internal/lint/analysis"
+	"cqa/internal/lint/typeutil"
+)
+
+// Analyzer flags context-free calls with available contexts.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "in eval-path packages, a function holding a context.Context must call the ...Ctx twin when one exists",
+	Run:  run,
+}
+
+// evalPkgNames are the evaluation-path packages the deadline contract
+// covers, matched by package name so test corpora (and future renames
+// of the import path) participate.
+var evalPkgNames = map[string]bool{
+	"cqa":      true,
+	"plan":     true,
+	"fixpoint": true,
+	"nl":       true,
+	"conp":     true,
+	"sat":      true,
+	"server":   true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !evalPkgNames[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Track the function-literal nesting: a closure inherits the
+		// enclosing function's context (it captures it), so the check is
+		// "any enclosing func has a ctx parameter".
+		var stack []ast.Node
+		hasCtx := func() bool {
+			for _, n := range stack {
+				var ft *ast.FuncType
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					ft = fn.Type
+				case *ast.FuncLit:
+					ft = fn.Type
+				default:
+					continue
+				}
+				if funcTypeHasCtx(pass, ft) {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok && hasCtx() {
+				checkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// funcTypeHasCtx reports whether ft declares a context.Context
+// parameter.
+func funcTypeHasCtx(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && typeutil.IsContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags call if its callee has a context-aware twin.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || strings.HasSuffix(fn.Name(), "Ctx") {
+		return
+	}
+	twin := findTwin(fn)
+	if twin == nil {
+		return
+	}
+	sig, ok := twin.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || !typeutil.IsContext(sig.Params().At(0).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s drops the caller's context; use the context-aware twin %s so deadlines and cancellation propagate", fn.Name(), twin.Name())
+}
+
+// findTwin looks for fn's ...Ctx sibling: a method on the same named
+// receiver type, or a function in the same package scope.
+func findTwin(fn *types.Func) *types.Func {
+	want := fn.Name() + "Ctx"
+	if recv := typeutil.RecvNamed(fn); recv != nil {
+		for i := 0; i < recv.NumMethods(); i++ {
+			if m := recv.Method(i); m.Name() == want {
+				return m
+			}
+		}
+		if iface, ok := recv.Underlying().(*types.Interface); ok {
+			for i := 0; i < iface.NumMethods(); i++ {
+				if m := iface.Method(i); m.Name() == want {
+					return m
+				}
+			}
+		}
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Method on an unnamed receiver (interface literal): no scope to
+		// search.
+		return nil
+	}
+	twin, _ := fn.Pkg().Scope().Lookup(want).(*types.Func)
+	return twin
+}

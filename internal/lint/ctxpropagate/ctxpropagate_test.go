@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"cqa/internal/lint/ctxpropagate"
+	"cqa/internal/lint/lintest"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	lintest.Run(t, "testdata/src/ctxpropagate", ctxpropagate.Analyzer)
+}

@@ -1,0 +1,58 @@
+// Package server is the ctxpropagate analyzer test corpus. The package
+// is named server so it falls inside the analyzer's evaluation-path
+// package set; it exercises the method twin, the package-function twin,
+// the context-free wrapper exemption, closures, a false twin whose
+// first parameter is not a context, and the allow directive.
+package server
+
+import "context"
+
+type engine struct{}
+
+func (e *engine) Solve() int { return e.SolveCtx(context.Background()) }
+
+func (e *engine) SolveCtx(ctx context.Context) int {
+	_ = ctx
+	return 0
+}
+
+func run() {}
+
+func runCtx(ctx context.Context) { _ = ctx }
+
+func begin() {}
+
+// beginCtx is not a context twin: its first parameter is not a
+// context.Context.
+func beginCtx(n int) { _ = n }
+
+func dropsBoth(ctx context.Context, e *engine) int {
+	run() // want "drops the caller's context"
+	runCtx(ctx)
+	return e.Solve() // want "drops the caller's context"
+}
+
+func insideClosure(ctx context.Context, e *engine) func() int {
+	_ = ctx
+	return func() int {
+		return e.Solve() // want "drops the caller's context"
+	}
+}
+
+func notATwin(ctx context.Context) {
+	_ = ctx
+	begin()
+}
+
+// wrapper has no context parameter, so calling the context-free form is
+// the wrapper pattern, not a dropped context.
+func wrapper(e *engine) int {
+	run()
+	return e.Solve()
+}
+
+func suppressedDrop(ctx context.Context, e *engine) int {
+	_ = ctx
+	//cqalint:allow ctxpropagate corpus fixture proving the allow directive filters this finding
+	return e.Solve()
+}

@@ -1,0 +1,12 @@
+package internedmut_test
+
+import (
+	"testing"
+
+	"cqa/internal/lint/internedmut"
+	"cqa/internal/lint/lintest"
+)
+
+func TestInternedMut(t *testing.T) {
+	lintest.Run(t, "testdata/src/internedmut", internedmut.Analyzer)
+}

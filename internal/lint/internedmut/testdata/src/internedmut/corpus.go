@@ -1,0 +1,81 @@
+// Package internedmutdata is the internedmut analyzer test corpus: it
+// exercises every taint source (shared-view accessors, InternedBlock.
+// Vals, range and assignment propagation) and every write sink (element
+// write, in-place sort, copy-into, append-to), plus the clean patterns
+// and the allow directive.
+package internedmutdata
+
+import (
+	"sort"
+
+	"cqa/internal/instance"
+)
+
+func writesElement(iv *instance.Interned) {
+	c := iv.Consts()
+	c[0] = "mutated" // want "writes an element of"
+}
+
+func writesViaCall(db *instance.Instance) {
+	db.Adom()[0] = "mutated" // want "writes an element of"
+}
+
+func sortsView(db *instance.Instance) {
+	sort.Strings(db.Adom()) // want "sorts in place"
+}
+
+func sortsLocal(db *instance.Instance) {
+	a := db.Relations()
+	sort.Strings(a) // want "sorts in place"
+}
+
+func copiesInto(db *instance.Instance) {
+	a := db.Adom()
+	copy(a, []string{"x"}) // want "copies into"
+}
+
+func appendsTo(db *instance.Instance) []string {
+	return append(db.Relations(), "r") // want "appends to"
+}
+
+func writesVals(iv *instance.Interned) {
+	bs := iv.RelBlocks(0)
+	bs[0].Vals[0] = 1 // want "writes an element of"
+}
+
+func rangeTaint(iv *instance.Interned) {
+	for _, b := range iv.RelBlocks(0) {
+		b.Vals[0] = 1 // want "writes an element of"
+	}
+}
+
+func sliceTaint(db *instance.Instance) {
+	tail := db.Adom()[1:]
+	tail[0] = "mutated" // want "writes an element of"
+}
+
+func copyFirst(db *instance.Instance) {
+	a := append([]string(nil), db.Adom()...)
+	sort.Strings(a)
+	a[0] = "x"
+}
+
+func reassigned(db *instance.Instance) {
+	a := db.Adom()
+	a = []string{"fresh"}
+	a[0] = "x"
+}
+
+func readsOnly(iv *instance.Interned, db *instance.Instance) int {
+	n := len(iv.Consts())
+	for _, b := range iv.RelBlocks(0) {
+		n += len(b.Vals)
+	}
+	return n + len(db.Facts())
+}
+
+func suppressedWrite(iv *instance.Interned) {
+	c := iv.Consts()
+	//cqalint:allow internedmut corpus fixture proving the allow directive filters this finding
+	c[0] = "ok"
+}

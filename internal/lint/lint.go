@@ -1,0 +1,138 @@
+// Package lint is the cqalint driver: it owns the analyzer registry,
+// expands package patterns, runs every analyzer over every loaded
+// package, and applies the `//cqalint:allow` suppression directives to
+// the raw diagnostics. The cmd/cqalint binary and the in-tree test
+// suites are both thin wrappers over Run/RunPackage.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"cqa/internal/lint/analysis"
+	"cqa/internal/lint/atomicpublish"
+	"cqa/internal/lint/ctxpropagate"
+	"cqa/internal/lint/internedmut"
+	"cqa/internal/lint/load"
+	"cqa/internal/lint/nolockbuild"
+	"cqa/internal/lint/statscounter"
+	"cqa/internal/lint/suppress"
+)
+
+// Analyzers returns the full cqalint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		internedmut.Analyzer,
+		ctxpropagate.Analyzer,
+		atomicpublish.Analyzer,
+		nolockbuild.Analyzer,
+		statscounter.Analyzer,
+	}
+}
+
+// Finding is one surfaced diagnostic (post-suppression).
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("cqalint" for driver
+	// findings such as malformed allow directives).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run expands patterns (import paths, or "./..." for the whole module),
+// loads each package, and applies analyzers. Findings come back sorted
+// by position.
+func Run(l *load.Loader, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var paths []string
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			all, err := l.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, all...)
+		case ".":
+			paths = append(paths, l.ModulePath)
+		default:
+			p := strings.TrimPrefix(pat, "./")
+			if !strings.HasPrefix(p, l.ModulePath) {
+				p = l.ModulePath + "/" + p
+			}
+			paths = append(paths, p)
+		}
+	}
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := RunPackage(l.Fset, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// RunPackage applies analyzers to one loaded package, filtering the raw
+// diagnostics through the package's allow directives and appending any
+// malformed directives as "cqalint" findings.
+func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	sup := suppress.Collect(fset, pkg.Files, known)
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if sup.Suppressed(pass.Analyzer.Name, pos.Filename, pos.Line) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: pass.Analyzer.Name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	for _, e := range sup.Errors() {
+		findings = append(findings, Finding{Analyzer: "cqalint", Pos: fset.Position(e.Pos), Message: e.Message})
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

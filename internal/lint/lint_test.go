@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"cqa/internal/lint"
+	"cqa/internal/lint/load"
+)
+
+// TestCleanPackages runs the full suite over a few small real packages
+// that must be lint-clean; the whole-module gate is the CI lint job
+// (go run ./cmd/cqalint ./...), kept out of the unit tests so go test
+// stays fast.
+func TestCleanPackages(t *testing.T) {
+	l, err := load.Shared()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	findings, err := lint.Run(l, []string{"./internal/bitset", "./internal/words", "./internal/memo"}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestMalformedDirectives checks that broken allow directives surface
+// as findings of the pseudo-analyzer "cqalint" even when no analyzer
+// runs: the zero-unexplained-suppressions bar is enforced by the
+// driver, not by any single check.
+func TestMalformedDirectives(t *testing.T) {
+	l, err := load.Shared()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/src/suppressdata")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := lint.RunPackage(l.Fset, pkg, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wantSubstrs := []string{
+		"names no analyzer",
+		"unknown analyzer notananalyzer",
+		"has no reason",
+	}
+	if len(findings) != len(wantSubstrs) {
+		t.Fatalf("got %d findings, want %d: %v", len(findings), len(wantSubstrs), findings)
+	}
+	for i, f := range findings {
+		if f.Analyzer != "cqalint" {
+			t.Errorf("finding %d: analyzer %q, want cqalint", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstrs[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstrs[i])
+		}
+	}
+}
+
+// TestRegistry pins the analyzer set: the allow directives in the tree
+// name these analyzers, so renaming one silently orphans its
+// suppressions unless this test moves with it.
+func TestRegistry(t *testing.T) {
+	want := []string{"internedmut", "ctxpropagate", "atomicpublish", "nolockbuild", "statscounter"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: name %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q: missing Doc or Run", a.Name)
+		}
+	}
+}

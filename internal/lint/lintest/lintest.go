@@ -1,0 +1,129 @@
+// Package lintest is the analysistest-style harness for the cqalint
+// analyzers: it type-checks a testdata corpus directory, runs one
+// analyzer over it, and matches the diagnostics against `// want "re"`
+// comments in the corpus, in both directions — a want with no matching
+// diagnostic fails, and a diagnostic with no matching want fails.
+package lintest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cqa/internal/lint"
+	"cqa/internal/lint/analysis"
+	"cqa/internal/lint/load"
+)
+
+// expectation is one parsed `// want "re"` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run type-checks dir and checks analyzer's findings against the
+// corpus's want comments. Findings from the driver itself (malformed
+// allow directives, analyzer name "cqalint") participate too, so
+// corpora can assert on directive errors.
+func Run(t *testing.T, dir string, analyzer *analysis.Analyzer) {
+	t.Helper()
+	l, err := load.Shared()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings, err := lint.RunPackage(l.Fset, pkg, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("run %s: %v", analyzer.Name, err)
+	}
+	wants := collectWants(t, l, pkg)
+
+	for _, f := range findings {
+		if !claim(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit expectation at file:line whose regexp
+// matches message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the corpus's want comments. Each comment may carry
+// several quoted regexps: `// want "a" "b"`.
+func collectWants(t *testing.T, l *load.Loader, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(rest) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted splits `"a" "b c"` into its double-quoted Go string
+// literals, quotes included, for strconv.Unquote.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			out = append(out, s[start:])
+			return out
+		}
+		out = append(out, s[start:start+1+end+1])
+		s = rest[end+1:]
+	}
+}

@@ -1,0 +1,294 @@
+// Package load type-checks packages for the cqalint analyzers without
+// golang.org/x/tools/go/packages: import paths are resolved directly —
+// module-local paths under the repo root, everything else under
+// GOROOT/src (with the GOROOT vendor fallback) — and dependencies are
+// type-checked from source recursively. The module has no external
+// requirements, so this two-rule resolver covers every reachable
+// import; stdlib packages are checked without syntax retention or
+// types.Info, analyzed packages keep both.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path (for directory loads of test corpora, a
+	// synthetic path derived from the directory).
+	Path string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Files and Info are retained only for analyzed packages (module
+	// packages and directory loads); they are nil for bare dependencies.
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// Loader loads and caches packages against one module root. A Loader is
+// not safe for concurrent use; the lint driver and the test harness
+// serialize on Shared's lock.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	ctxt   build.Context
+	byPath map[string]*Package
+	byDir  map[string]*Package
+	// loading guards against import cycles (impossible in valid Go, but
+	// a resolver bug must error instead of recursing forever).
+	loading map[string]bool
+}
+
+// New returns a Loader for the module rooted at moduleRoot, whose
+// go.mod names modulePath.
+func New(moduleRoot, modulePath string) *Loader {
+	ctxt := build.Default
+	// Type-checking cgo parts from source is impossible (the C half is
+	// missing); with cgo off every stdlib package selects its pure-Go
+	// file set.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		ctxt:       ctxt,
+		byPath:     make(map[string]*Package),
+		byDir:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod and returns
+// its directory and module path.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var (
+	sharedMu sync.Mutex
+	sharedL  *Loader
+	sharedE  error
+)
+
+// Shared returns a process-wide Loader rooted at the module containing
+// the current working directory, so every analyzer test reuses one
+// type-checked view of the standard library. The caller must not use it
+// concurrently.
+func Shared() (*Loader, error) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedL == nil && sharedE == nil {
+		root, path, err := FindModuleRoot(".")
+		if err != nil {
+			sharedE = err
+		} else {
+			sharedL = New(root, path)
+		}
+	}
+	return sharedL, sharedE
+}
+
+// inModule reports whether path names the module or a package inside it.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// resolveDir maps an import path to its source directory.
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), nil
+	}
+	src := filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(src); err == nil && fi.IsDir() {
+		return src, nil
+	}
+	vend := filepath.Join(l.ctxt.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(vend); err == nil && fi.IsDir() {
+		return vend, nil
+	}
+	return "", fmt.Errorf("load: cannot resolve import %q (not in module %s, GOROOT/src, or GOROOT vendor)", path, l.ModulePath)
+}
+
+// Load returns the package with the given import path, type-checking it
+// (and its dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Pkg: types.Unsafe}, nil
+	}
+	if p, ok := l.byPath[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.check(dir, path, l.inModule(path))
+	if err != nil {
+		return nil, err
+	}
+	l.byPath[path] = p
+	return p, nil
+}
+
+// LoadDir type-checks the single package in dir (an analyzer test
+// corpus) with full syntax and type information. Imports inside it
+// resolve through the normal module/GOROOT rules.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.byDir[dir]; ok {
+		return p, nil
+	}
+	p, err := l.check(dir, "cqalint.test/"+filepath.Base(dir), true)
+	if err != nil {
+		return nil, err
+	}
+	l.byDir[dir] = p
+	return p, nil
+}
+
+// check parses and type-checks the package in dir. analyzed packages
+// keep syntax, comments, and types.Info, and fail hard on type errors;
+// dependency packages are checked leniently (an incomplete stdlib
+// corner must not take the whole lint run down with it).
+func (l *Loader) check(dir, path string, analyzed bool) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	mode := parser.SkipObjectResolution
+	if analyzed {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if perr != nil {
+			return nil, fmt.Errorf("load %s: %w", path, perr)
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    importerFunc(func(imp string) (*types.Package, error) { return l.importPkg(imp) }),
+		Sizes:       types.SizesFor("gc", l.ctxt.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	var info *types.Info
+	if analyzed {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if analyzed && len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load %s: %d type errors, first: %w", path, len(typeErrs), typeErrs[0])
+	}
+	p := &Package{Path: path, Pkg: tpkg}
+	if analyzed {
+		p.Files = files
+		p.Info = info
+	}
+	return p, nil
+}
+
+// importPkg adapts Load to the go/types importer contract.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	p, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModulePackages returns the import paths of every package in the
+// module, in lexical directory order: each directory under the root
+// holding at least one non-test .go file, skipping testdata, hidden,
+// and underscore-prefixed directories.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, derr := os.ReadDir(p)
+		if derr != nil {
+			return derr
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, rerr := filepath.Rel(l.ModuleRoot, p)
+				if rerr != nil {
+					return rerr
+				}
+				if rel == "." {
+					out = append(out, l.ModulePath)
+				} else {
+					out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,12 @@
+package nolockbuild_test
+
+import (
+	"testing"
+
+	"cqa/internal/lint/lintest"
+	"cqa/internal/lint/nolockbuild"
+)
+
+func TestNoLockBuild(t *testing.T) {
+	lintest.Run(t, "testdata/src/nolockbuild", nolockbuild.Analyzer)
+}

@@ -1,0 +1,144 @@
+// Package lockdata is the nolockbuild analyzer test corpus: blocking
+// operations under an exclusive lock (channel ops, nested or repeated
+// acquisition, known blocking callees, plan compiles, memo builds,
+// locking same-package helpers, dynamic calls) are findings; read-lock
+// sections, released locks, goroutine bodies, and non-blocking selects
+// stay exempt.
+package lockdata
+
+import (
+	"sync"
+	"time"
+
+	"cqa/internal/memo"
+	"cqa/internal/plan"
+	"cqa/internal/words"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	wg    sync.WaitGroup
+	m     *memo.LRU[string, int]
+}
+
+func (g *guarded) sendUnderLock() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding g.mu"
+}
+
+func (g *guarded) nestedLock() {
+	g.mu.Lock()
+	g.other.Lock() // want "acquires g.other while holding g.mu"
+	g.other.Unlock()
+	g.mu.Unlock()
+}
+
+func (g *guarded) selfDeadlock() {
+	g.mu.Lock()
+	g.mu.Lock() // want "re-acquires g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) sleeps() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+}
+
+func (g *guarded) waits() {
+	g.mu.Lock()
+	g.wg.Wait() // want "sync.Wait while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) compiles() *plan.Plan {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return plan.Compile(words.Word{"R", "S"}) // want "plan.Compile while holding g.mu"
+}
+
+func (g *guarded) memoBuild() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m.Get("k", func() int { return 1 }) // want "memo build entry point Get while holding g.mu"
+}
+
+func (g *guarded) dynamic(f func()) {
+	g.mu.Lock()
+	f() // want "dynamic call through a function value while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) blockingSelect() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select"
+	case v := <-g.ch:
+		return v
+	}
+}
+
+func (g *guarded) nonBlockingSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+}
+
+func (g *guarded) lockingHelper() {
+	g.other.Lock()
+	g.other.Unlock()
+}
+
+func (g *guarded) callsLockingHelper() {
+	g.mu.Lock()
+	g.lockingHelper() // want "calls lockingHelper, which acquires a lock"
+	g.mu.Unlock()
+}
+
+func (g *guarded) readLockOnly() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return <-g.ch
+}
+
+func (g *guarded) releasedFirst() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1
+}
+
+func (g *guarded) spawns() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- 1
+	}()
+}
+
+func (g *guarded) pureHelper() int { return 2 }
+
+func (g *guarded) callsPureHelper() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pureHelper() + len("x") + int(int64(1))
+}
+
+func (g *guarded) suppressedSend() {
+	g.mu.Lock()
+	//cqalint:allow nolockbuild corpus fixture proving the allow directive filters this finding
+	g.ch <- 1
+	g.mu.Unlock()
+}

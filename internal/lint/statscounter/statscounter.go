@@ -1,0 +1,119 @@
+// Package statscounter checks the observability contract of the Stats
+// snapshot tree.
+//
+// The engine's counters live in two layers: hot-path counters are plain
+// or atomic words updated by the workers, and the exported `...Stats`
+// structs (cqa.Stats, PlanStats, MemoStats, fixpoint.ParallelStats,
+// server.RouterStats, ...) are read-only snapshots assembled from those
+// words and serialized to JSON by the serve daemon's /stats endpoint.
+// Two things silently break that contract:
+//
+//   - an exported snapshot field without a json tag: the field compiles,
+//     tests pass, and the dashboard simply never sees it (or sees it
+//     under an unstable Go-spelled key);
+//   - a plain `++` / `+= n` on an exported snapshot field: snapshots are
+//     assembled, not incremented — a direct increment means some code
+//     path is using the snapshot struct as the live counter, racing every
+//     concurrent Stats() reader.
+//
+// Rule A therefore requires: in a struct type whose name ends in
+// "Stats" and that has at least one json-tagged field, every exported
+// non-embedded field carries a json tag. Rule B flags ++, --, and
+// op-assignments (+=, -=, |=, ...) targeting exported fields of any
+// json-tagged ...Stats struct, in any package that can reach one.
+package statscounter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"cqa/internal/lint/analysis"
+	"cqa/internal/lint/typeutil"
+)
+
+// Analyzer checks json tags and increment discipline on Stats structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "statscounter",
+	Doc:  "exported fields of ...Stats snapshot structs carry json tags and are assembled, never incremented in place",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Rule A: locally declared ...Stats struct types.
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !strings.HasSuffix(tn.Name(), "Stats") {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !hasJSONTag(st) {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || f.Embedded() {
+				continue
+			}
+			if _, ok := reflect.StructTag(st.Tag(i)).Lookup("json"); !ok {
+				pass.Reportf(f.Pos(), "exported field %s.%s has no json tag; every exported field of a Stats snapshot must serialize under a stable key", tn.Name(), f.Name())
+			}
+		}
+	}
+
+	// Rule B: in-place increments of snapshot fields, wherever the
+	// struct was declared.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.IncDecStmt:
+				checkIncrement(pass, s.X, s.Tok)
+			case *ast.AssignStmt:
+				switch s.Tok {
+				case token.ASSIGN, token.DEFINE:
+				default:
+					for _, lh := range s.Lhs {
+						checkIncrement(pass, lh, s.Tok)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkIncrement flags lhs when it selects an exported field of a
+// json-tagged ...Stats struct.
+func checkIncrement(pass *analysis.Pass, lhs ast.Expr, tok token.Token) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || !sel.Sel.IsExported() {
+		return
+	}
+	named := typeutil.Named(pass.TypesInfo.TypeOf(sel.X))
+	if named == nil || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || !hasJSONTag(st) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "%s on snapshot field %s.%s; Stats structs are assembled read-only snapshots — keep the live counter atomic and copy it in during assembly", tok, named.Obj().Name(), sel.Sel.Name)
+}
+
+// hasJSONTag reports whether any field of st carries a json tag.
+func hasJSONTag(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := reflect.StructTag(st.Tag(i)).Lookup("json"); ok {
+			return true
+		}
+	}
+	return false
+}

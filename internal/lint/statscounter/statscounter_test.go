@@ -1,0 +1,12 @@
+package statscounter_test
+
+import (
+	"testing"
+
+	"cqa/internal/lint/lintest"
+	"cqa/internal/lint/statscounter"
+)
+
+func TestStatsCounter(t *testing.T) {
+	lintest.Run(t, "testdata/src/statscounter", statscounter.Analyzer)
+}

@@ -1,0 +1,50 @@
+// Package statsdata is the statscounter analyzer test corpus: Stats
+// snapshot structs with any json-tagged field must tag every exported
+// field (Rule A), and exported snapshot fields are assembled, never
+// incremented in place (Rule B).
+package statsdata
+
+type QueryStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Errors int64 // want "exported field QueryStats.Errors has no json tag"
+	local  int
+}
+
+// internalStats has no json tags at all, so Rule A does not apply: it is
+// a working struct, not a serialized snapshot.
+type internalStats struct {
+	a int
+	b int
+}
+
+type baseStats struct {
+	N int64 `json:"n"`
+}
+
+// WrapStats embeds baseStats; the embedded field itself needs no tag.
+type WrapStats struct {
+	baseStats
+	M int64 `json:"m"`
+}
+
+func recordBad(s *QueryStats) {
+	s.Hits++      // want "on snapshot field QueryStats.Hits"
+	s.Misses += 2 // want "on snapshot field QueryStats.Misses"
+	s.local++     // unexported: live counter fields are allowed
+}
+
+func assemble(hits, misses int64, w *internalStats) QueryStats {
+	w.a++
+	w.b += 3
+	return QueryStats{Hits: hits, Misses: misses}
+}
+
+func assignOK(s *QueryStats, n int64) {
+	s.Hits = n
+}
+
+func suppressedInc(s *QueryStats) {
+	//cqalint:allow statscounter corpus fixture proving the allow directive filters this finding
+	s.Hits++
+}

@@ -1,0 +1,93 @@
+// Package suppress implements the `//cqalint:allow <analyzer> <reason>`
+// directive: a per-line opt-out of one analyzer with a mandatory
+// justification. A directive applies to findings on its own line and on
+// the line immediately below it (so it can sit on the flagged line or
+// stand alone above it). A directive with no reason, or naming an
+// analyzer that does not exist, is itself a finding — the acceptance
+// bar is zero unexplained suppressions, enforced mechanically.
+package suppress
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the directive comment prefix (directive-style, no space
+// after //, which gofmt preserves).
+const Prefix = "cqalint:allow"
+
+// Directive is one parsed allow directive.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+}
+
+// Error is a malformed directive, reported by the driver under the
+// pseudo-analyzer name "cqalint".
+type Error struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Set holds the directives of one package, indexed for filtering.
+type Set struct {
+	// byLine maps file name -> line -> directives in force on that line.
+	byLine map[string]map[int][]Directive
+	errs   []Error
+}
+
+// Collect parses the allow directives of files. known is the set of
+// valid analyzer names; a directive naming anything else is recorded as
+// an error.
+func Collect(fset *token.FileSet, files []*ast.File, known map[string]bool) *Set {
+	s := &Set{byLine: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+Prefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					s.errs = append(s.errs, Error{c.Pos(), "allow directive names no analyzer (want `//cqalint:allow <analyzer> <reason>`)"})
+					continue
+				}
+				if !known[fields[0]] {
+					s.errs = append(s.errs, Error{c.Pos(), "allow directive names unknown analyzer " + fields[0]})
+					continue
+				}
+				if len(fields) < 2 {
+					s.errs = append(s.errs, Error{c.Pos(), "allow directive for " + fields[0] + " has no reason; a justification is mandatory"})
+					continue
+				}
+				d := Directive{Analyzer: fields[0], Reason: strings.Join(fields[1:], " "), Pos: c.Pos()}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Directive)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a finding of the named analyzer at
+// file:line is covered by a directive.
+func (s *Set) Suppressed(analyzer, file string, line int) bool {
+	for _, d := range s.byLine[file][line] {
+		if d.Analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the malformed directives found during Collect.
+func (s *Set) Errors() []Error { return s.errs }

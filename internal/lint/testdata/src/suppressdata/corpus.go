@@ -1,0 +1,13 @@
+// Package suppressdata is the driver test corpus for malformed allow
+// directives: every directive below is broken in a distinct way and
+// must surface as a "cqalint" finding.
+package suppressdata
+
+//cqalint:allow
+var a int
+
+//cqalint:allow notananalyzer some reason
+var b int
+
+//cqalint:allow internedmut
+var c int

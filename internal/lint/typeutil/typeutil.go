@@ -1,0 +1,88 @@
+// Package typeutil holds the small go/types helpers shared by the
+// cqalint analyzers.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee returns the static *types.Func a call resolves to, or nil for
+// dynamic calls, conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Deref unwraps one level of pointer (and any alias chains).
+func Deref(t types.Type) types.Type {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	return t
+}
+
+// Named returns the (alias-resolved, pointer-dereferenced) named type
+// of t, or nil. For instantiated generics it returns the origin type.
+func Named(t types.Type) *types.Named {
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// IsNamed reports whether t (possibly behind a pointer or alias) is the
+// named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := Named(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// RecvNamed returns the named type of fn's receiver, or nil for
+// package-level functions and receivers of unnamed type.
+func RecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return Named(sig.Recv().Type())
+}
+
+// IsMethod reports whether fn is the method pkgPath.(recvName).name.
+func IsMethod(fn *types.Func, pkgPath, recvName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	n := RecvNamed(fn)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == recvName
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool { return IsNamed(t, "context", "Context") }

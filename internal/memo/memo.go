@@ -297,6 +297,7 @@ func (m *LRU[K, V]) charge(e *entry[K, V]) {
 	if e.evicted || e.charged.Load() {
 		return
 	}
+	//cqalint:allow nolockbuild cost functions are pure size accountants by contract (LRU doc comment); charging outside the lock would race eviction
 	e.cost = m.cost(e.val)
 	e.charged.Store(true)
 	m.total += e.cost
